@@ -1,0 +1,53 @@
+# libcrpm-go developer targets.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench fuzz results examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/mpi/ ./internal/apps/... .
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzCrashNeverCorruptsFencedData -fuzztime 30s ./internal/nvm/
+	$(GO) test -fuzz FuzzReadDeviceFrom -fuzztime 30s ./internal/nvm/
+	$(GO) test -fuzz FuzzAllocFree -fuzztime 30s ./internal/alloc/
+
+# Regenerate every table and figure of the paper's evaluation.
+results:
+	$(GO) run ./cmd/crpmbench -exp all -scale small
+
+results-medium:
+	$(GO) run ./cmd/crpmbench -exp all -scale medium
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/kvstore
+	$(GO) run ./examples/lulesh
+	$(GO) run ./examples/crashtest -trials 8
+	$(GO) run ./examples/filestore -reset
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,452 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (run `go test -bench=. -benchmem`), plus micro-benchmarks of the hot
+// paths. Each experiment bench executes the corresponding harness function
+// once per iteration and logs the produced table; derived headline numbers
+// are attached as custom metrics so `benchstat` can track them.
+package crpm
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"libcrpm/internal/harness"
+	"libcrpm/internal/workload"
+)
+
+// benchScale trims the small scale so the full bench suite stays in the
+// minutes range.
+func benchScale() harness.Scale {
+	sc := harness.SmallScale()
+	sc.Ops = 40_000
+	sc.Keys = 60_000
+	return sc
+}
+
+// tableCell extracts a float cell by row name for metric reporting.
+func tableCell(tb harness.Table, rowName string, col int) float64 {
+	for _, r := range tb.Rows {
+		if r[0] == rowName {
+			v, _ := strconv.ParseFloat(r[col], 64)
+			return v
+		}
+	}
+	return 0
+}
+
+func BenchmarkFig1Breakdown(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.Fig1Breakdown(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+			b.ReportMetric(tableCell(tb, "libcrpm-Default", 2), "crpm-exec-%")
+		}
+	}
+}
+
+func BenchmarkFig7HashMap(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.Fig7Throughput(sc, harness.DSHashMap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+			b.ReportMetric(tableCell(tb, "libcrpm-Default", 2), "crpm-balanced-Mops")
+			b.ReportMetric(tableCell(tb, "NVM-NP", 2), "nvmnp-balanced-Mops")
+		}
+	}
+}
+
+func BenchmarkFig7RBMap(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 20_000
+	sc.Keys = 20_000
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.Fig7Throughput(sc, harness.DSRBMap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+			b.ReportMetric(tableCell(tb, "libcrpm-Default", 2), "crpm-balanced-Mops")
+		}
+	}
+}
+
+func BenchmarkFig8Apps(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.Fig8Apps(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+func BenchmarkFig9Interval(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 25_000
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.Fig9Interval(sc, harness.DSHashMap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+func BenchmarkFig10aSegment(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 25_000
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.Fig10aSegment(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+func BenchmarkFig10bBlock(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 25_000
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.Fig10bBlock(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+func BenchmarkTable1aCheckpointSize(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.Table1a(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+			b.ReportMetric(tableCell(tb, "libcrpm-Default", 2), "crpm-B/op-balanced")
+			b.ReportMetric(tableCell(tb, "Mprotect", 2), "mprotect-B/op-balanced")
+		}
+	}
+}
+
+func BenchmarkTable1bFences(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.Table1b(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+			b.ReportMetric(tableCell(tb, "libcrpm-Default", 2), "crpm-fences/epoch")
+			b.ReportMetric(tableCell(tb, "Undo-log", 2), "undolog-fences/epoch")
+		}
+	}
+}
+
+func BenchmarkRecoveryTime(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.RecoveryTime(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+func BenchmarkStorageCost(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.StorageCost(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+func BenchmarkAblationEagerCoW(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 25_000
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.AblationEagerCoW(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+func BenchmarkAblationDifferentialCopy(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 25_000
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.AblationDifferentialCopy(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+func BenchmarkAblationFlushThreshold(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 25_000
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.AblationFlushThreshold(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+func BenchmarkAblationBackupRatio(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 25_000
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.AblationBackupRatio(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+func BenchmarkAblationFTIIncremental(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 25_000
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.AblationFTIIncremental(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+func BenchmarkAblationBufferedVsDefault(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 25_000
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.AblationBufferedVsDefault(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+// --- micro-benchmarks of the public API hot paths ---
+
+func newBenchStore(b *testing.B, mode Mode) (*Store, *HashMap) {
+	b.Helper()
+	st, err := CreateStore(Options{HeapSize: 16 << 20, Mode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := st.NewHashMap(1 << 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st, m
+}
+
+func BenchmarkHashMapPutDefault(b *testing.B) {
+	_, m := newBenchStore(b, ModeDefault)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Put(uint64(i)%50_000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashMapPutBuffered(b *testing.B) {
+	_, m := newBenchStore(b, ModeBuffered)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Put(uint64(i)%50_000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashMapGet(b *testing.B) {
+	_, m := newBenchStore(b, ModeDefault)
+	for k := uint64(0); k < 50_000; k++ {
+		if err := m.Put(k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(uint64(i) % 50_000)
+	}
+}
+
+func BenchmarkRBMapPut(b *testing.B) {
+	st, err := CreateStore(Options{HeapSize: 32 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := st.NewRBMap()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Put(uint64(i)%100_000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointLatency(b *testing.B) {
+	st, m := newBenchStore(b, ModeDefault)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 200; j++ {
+			if err := m.Put(uint64(rng.Intn(50_000)), rng.Uint64()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := st.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoveryLatency(b *testing.B) {
+	opts := Options{HeapSize: 16 << 20}
+	st, m := newBenchStore(b, ModeDefault)
+	st.SetRoot(0, uint64(m.Root()))
+	for k := uint64(0); k < 50_000; k++ {
+		if err := m.Put(k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 100; j++ {
+			if err := m.Put(uint64(rng.Intn(50_000)), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st.Device().Crash(rng)
+		b.StartTimer()
+		st2, err := OpenStore(st.Device(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		m, err = st2.OpenHashMap(int(st2.Root(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = st2
+		b.StartTimer()
+	}
+}
+
+// BenchmarkEndToEndWorkload runs the paper's balanced epoch loop on the
+// public API, reporting simulated throughput alongside wall time.
+func BenchmarkEndToEndWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, m := newBenchStore(b, ModeDefault)
+		d := &workload.Driver{
+			KV:         m,
+			Clock:      st.Device().Clock(),
+			Checkpoint: st.Checkpoint,
+			Interval:   2 * time.Millisecond,
+			Zipf:       workload.NewZipfian(30_000, 0.99),
+			Rng:        rand.New(rand.NewSource(3)),
+		}
+		if err := d.Populate(30_000); err != nil {
+			b.Fatal(err)
+		}
+		res, err := d.Run(workload.Balanced, 30_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Throughput/1e6, "sim-Mops")
+		}
+	}
+}
+
+func BenchmarkAblationEADR(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 20_000
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.AblationEADR(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+func BenchmarkPauseTimes(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 20_000
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.PauseTimes(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Command crpmbench regenerates the tables and figures of the libcrpm paper
+// (DAC 2022) on the simulated NVM substrate.
+//
+// Usage:
+//
+//	crpmbench -exp all                 # everything, small scale
+//	crpmbench -exp fig7 -scale medium  # one experiment, bigger inputs
+//	crpmbench -list
+//
+// Experiments: fig1, fig7, fig8, fig9, fig10a, fig10b, table1a, table1b,
+// recovery, storage, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"libcrpm/internal/harness"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(harness.Scale) ([]harness.Table, error)
+}
+
+func one(f func(harness.Scale) (harness.Table, error)) func(harness.Scale) ([]harness.Table, error) {
+	return func(sc harness.Scale) ([]harness.Table, error) {
+		t, err := f(sc)
+		if err != nil {
+			return nil, err
+		}
+		return []harness.Table{t}, nil
+	}
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"fig1", "execution-time breakdown of unordered_map (Figure 1)", one(harness.Fig1Breakdown)},
+		{"fig7", "throughput of map and unordered_map across workloads (Figure 7)", func(sc harness.Scale) ([]harness.Table, error) {
+			h, err := harness.Fig7Throughput(sc, harness.DSHashMap)
+			if err != nil {
+				return nil, err
+			}
+			r, err := harness.Fig7Throughput(sc, harness.DSRBMap)
+			if err != nil {
+				return nil, err
+			}
+			return []harness.Table{h, r}, nil
+		}},
+		{"fig8", "relative execution time of LULESH/HPCCG/CoMD (Figure 8)", one(harness.Fig8Apps)},
+		{"fig9", "throughput vs checkpoint interval (Figure 9)", func(sc harness.Scale) ([]harness.Table, error) {
+			h, err := harness.Fig9Interval(sc, harness.DSHashMap)
+			if err != nil {
+				return nil, err
+			}
+			r, err := harness.Fig9Interval(sc, harness.DSRBMap)
+			if err != nil {
+				return nil, err
+			}
+			return []harness.Table{h, r}, nil
+		}},
+		{"fig10a", "throughput vs segment size (Figure 10a)", one(harness.Fig10aSegment)},
+		{"fig10b", "throughput vs block size (Figure 10b)", one(harness.Fig10bBlock)},
+		{"table1a", "average checkpoint size per operation (Table 1a)", one(harness.Table1a)},
+		{"table1b", "sfence instructions per epoch (Table 1b)", one(harness.Table1b)},
+		{"recovery", "LULESH recovery time (§5.5)", one(harness.RecoveryTime)},
+		{"pauses", "checkpoint pause-time distribution (extension)", one(harness.PauseTimes)},
+		{"storage", "storage cost of LULESH (§5.6)", one(harness.StorageCost)},
+		{"ablations", "design-choice ablations (eager CoW, diff copy, flush path, backup ratio, FTI hashing, modes)", func(sc harness.Scale) ([]harness.Table, error) {
+			var out []harness.Table
+			for _, f := range []func(harness.Scale) (harness.Table, error){
+				harness.AblationEagerCoW,
+				harness.AblationDifferentialCopy,
+				harness.AblationFlushThreshold,
+				harness.AblationBackupRatio,
+				harness.AblationFTIIncremental,
+				harness.AblationBufferedVsDefault,
+				harness.AblationEADR,
+			} {
+				t, err := f(sc)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, t)
+			}
+			return out, nil
+		}},
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (or 'all')")
+	scaleName := flag.String("scale", "small", "input scale: small | medium | paper (paper needs ~10GB RAM and hours)")
+	format := flag.String("format", "text", "output format: text | csv")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	var sc harness.Scale
+	switch *scaleName {
+	case "small":
+		sc = harness.SmallScale()
+	case "medium":
+		sc = harness.MediumScale()
+	case "paper":
+		sc = harness.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (small|medium|paper)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	var selected []experiment
+	if *exp == "all" {
+		selected = exps
+	} else {
+		for _, e := range exps {
+			if e.name == strings.ToLower(*exp) {
+				selected = []experiment{e}
+			}
+		}
+		if selected == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *format == "csv" {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t)
+			}
+		}
+		if *format != "csv" {
+			fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"libcrpm/internal/harness"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := experiments()
+	if len(exps) < 11 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.name == "" || e.desc == "" || e.run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if e.name != strings.ToLower(e.name) {
+			t.Fatalf("experiment name %q not lower case", e.name)
+		}
+		if seen[e.name] {
+			t.Fatalf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+	}
+	for _, want := range []string{"fig1", "fig7", "fig8", "fig9", "fig10a", "fig10b", "table1a", "table1b", "recovery", "storage", "ablations"} {
+		if !seen[want] {
+			t.Fatalf("experiment %q missing", want)
+		}
+	}
+}
+
+func TestOneWrapper(t *testing.T) {
+	called := false
+	f := one(func(sc harness.Scale) (harness.Table, error) {
+		called = true
+		return harness.Table{Title: "x"}, nil
+	})
+	tabs, err := f(harness.SmallScale())
+	if err != nil || len(tabs) != 1 || tabs[0].Title != "x" || !called {
+		t.Fatalf("one() wrapper broken: %v %v", tabs, err)
+	}
+}

@@ -1,0 +1,56 @@
+// Command crpmck is the offline consistency checker for libcrpm container
+// images (the fsck of this library): it validates the persistent metadata
+// invariants of a device image produced by Device.WriteMediaTo and reports
+// what epoch the container would recover to.
+//
+// Usage:
+//
+//	crpmck -img nvm.img -heap 67108864 [-segment 2097152] [-block 256] [-deep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"libcrpm/internal/nvm"
+	"libcrpm/internal/region"
+)
+
+func main() {
+	img := flag.String("img", "", "device image file (required)")
+	heap := flag.Int("heap", 0, "container heap size in bytes (required)")
+	segment := flag.Int("segment", 0, "segment size (default 2MB)")
+	block := flag.Int("block", 0, "block size (default 256B)")
+	ratio := flag.Float64("ratio", 1.0, "backup ratio")
+	deep := flag.Bool("deep", false, "also compare pair contents")
+	flag.Parse()
+
+	if *img == "" || *heap <= 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*img)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	dev, err := nvm.ReadDeviceFrom(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	l, err := region.NewLayout(region.Config{
+		HeapSize: *heap, SegmentSize: *segment, BlockSize: *block, BackupRatio: *ratio,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	report := region.Check(dev, l, *deep)
+	fmt.Print(report)
+	if !report.OK() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,283 @@
+package crpm
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"libcrpm/internal/core"
+)
+
+func TestStoreLifecycle(t *testing.T) {
+	opts := Options{HeapSize: 1 << 20, SegmentSize: 64 << 10}
+	st, err := CreateStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.NewHashMap(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetRoot(0, uint64(m.Root()))
+	for k := uint64(0); k < 100; k++ {
+		if err := m.Put(k, k*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(1, 999); err != nil { // uncommitted
+		t.Fatal(err)
+	}
+	st.Device().Crash(rand.New(rand.NewSource(1)))
+
+	st2, err := OpenStore(st.Device(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := st2.OpenHashMap(int(st2.Root(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m2.Get(1); !ok || v != 2 {
+		t.Fatalf("Get(1) = %d,%v; want committed 2", v, ok)
+	}
+	if m2.Len() != 100 {
+		t.Fatalf("Len = %d", m2.Len())
+	}
+}
+
+func TestStoreBufferedMode(t *testing.T) {
+	opts := Options{HeapSize: 1 << 20, SegmentSize: 64 << 10, Mode: ModeBuffered}
+	st, err := CreateStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := st.NewRBMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetRoot(0, uint64(tr.Root()))
+	for k := uint64(0); k < 50; k++ {
+		if err := tr.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st.Device().CrashDropAll()
+	st2, err := OpenStore(st.Device(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := st2.OpenRBMap(int(st2.Root(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 50 {
+		t.Fatalf("Len = %d", tr2.Len())
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRawAllocAndHeap(t *testing.T) {
+	opts := Options{HeapSize: 1 << 20, SegmentSize: 64 << 10}
+	st, err := CreateStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := st.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Heap().WriteU64(off, 0xabcdef)
+	st.SetRoot(3, uint64(off))
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st.Device().CrashDropAll()
+	st2, err := OpenStore(st.Device(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Heap().ReadU64(int(st2.Root(3))); got != 0xabcdef {
+		t.Fatalf("raw value = %#x", got)
+	}
+	st2.Free(int(st2.Root(3)))
+}
+
+func TestOptionsDeviceSize(t *testing.T) {
+	n, err := Options{HeapSize: 4 << 20}.DeviceSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 8<<20 {
+		t.Fatalf("device size %d smaller than main+backup", n)
+	}
+	if _, err := (Options{}).DeviceSize(); err == nil {
+		t.Fatal("zero options accepted")
+	}
+}
+
+func TestOpenStoreOnFreshDeviceFails(t *testing.T) {
+	if _, err := OpenStore(NewDevice(1<<20), Options{HeapSize: 64 << 10}); err == nil {
+		t.Fatal("OpenStore on unformatted device succeeded")
+	}
+}
+
+func TestCreateStoreOnSmallDeviceFails(t *testing.T) {
+	if _, err := CreateStoreOn(NewDevice(4096), Options{HeapSize: 1 << 20}); err == nil {
+		t.Fatal("CreateStoreOn undersized device succeeded")
+	}
+}
+
+func TestStoreFilePersistence(t *testing.T) {
+	opts := Options{HeapSize: 1 << 20, SegmentSize: 64 << 10}
+	st, err := CreateStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.NewHashMap(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetRoot(0, uint64(m.Root()))
+	for k := uint64(0); k < 64; k++ {
+		if err := m.Put(k, k+7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(0, 999); err != nil { // in flight at "power off"
+		t.Fatal(err)
+	}
+
+	// Persist the device image to a real file and reload it, as a separate
+	// process would.
+	path := filepath.Join(t.TempDir(), "nvm.img")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Device().WriteMediaTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	dev, err := ReadDeviceFrom(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := st2.OpenHashMap(int(st2.Root(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 64 {
+		t.Fatalf("Len = %d", m2.Len())
+	}
+	if v, ok := m2.Get(0); !ok || v != 7 {
+		t.Fatalf("Get(0) = %d,%v; want committed 7", v, ok)
+	}
+}
+
+func TestEADRModelExported(t *testing.T) {
+	if EADRCostModel().CLWBPS >= DefaultCostModel().CLWBPS {
+		t.Fatal("eADR model not cheaper")
+	}
+}
+
+func TestConcurrentStoreWithCollective(t *testing.T) {
+	opts := Options{HeapSize: 1 << 20, SegmentSize: 64 << 10, Concurrent: true}
+	st, err := CreateStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const threads = 4
+	g := core.NewCollective(st.Container(), threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h := st.Heap()
+			base := 4096 + tid*8192
+			for epoch := 0; epoch < 3; epoch++ {
+				for i := 0; i < 50; i++ {
+					h.WriteU64(base+i*8, uint64(epoch*100+i))
+				}
+				if err := g.Checkpoint(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	st.Device().CrashDropAll()
+	st2, err := OpenStore(st.Device(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < threads; tid++ {
+		base := 4096 + tid*8192
+		if got := st2.Heap().ReadU64(base); got != 200 {
+			t.Fatalf("thread %d slot 0 = %d, want 200", tid, got)
+		}
+	}
+}
+
+func TestStoreVector(t *testing.T) {
+	opts := Options{HeapSize: 1 << 20, SegmentSize: 64 << 10}
+	st, err := CreateStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := st.NewVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetRoot(0, uint64(v.Root()))
+	for i := uint64(0); i < 100; i++ {
+		if err := v.Append(i * i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	_ = v.Append(12345) // uncommitted
+	st.Device().CrashDropAll()
+	st2, err := OpenStore(st.Device(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := st2.OpenVector(int(st2.Root(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() != 100 {
+		t.Fatalf("Len = %d", v2.Len())
+	}
+	if got := v2.Get(9); got != 81 {
+		t.Fatalf("v[9] = %d", got)
+	}
+}

@@ -1,0 +1,106 @@
+// filestore: real cross-process persistence. The simulated NVM device's
+// durable media serializes to an ordinary file; a later run (or another
+// process) reloads it and recovers the store. Run the example twice to see
+// state accumulate across invocations:
+//
+//	go run ./examples/filestore           # creates /tmp/crpm-filestore.img
+//	go run ./examples/filestore           # resumes from it
+//	go run ./examples/filestore -reset    # start over
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	crpm "libcrpm"
+)
+
+const rootCounter = 0
+const rootLog = 1
+
+func main() {
+	path := flag.String("img", os.TempDir()+"/crpm-filestore.img", "device image path")
+	reset := flag.Bool("reset", false, "discard the existing image")
+	flag.Parse()
+
+	opts := crpm.Options{HeapSize: 4 << 20, SegmentSize: 256 << 10}
+	if *reset {
+		os.Remove(*path)
+	}
+
+	st, fresh, err := openOrCreate(*path, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var v *crpm.Vector
+	if fresh {
+		counterOff, err := st.Alloc(8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st.SetRoot(rootCounter, uint64(counterOff))
+		v, err = st.NewVector()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st.SetRoot(rootLog, uint64(v.Root()))
+		fmt.Println("created a fresh store")
+	} else {
+		v, err = st.OpenVector(int(st.Root(rootLog)))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One "session": bump the run counter, append a log record, checkpoint.
+	counterOff := int(st.Root(rootCounter))
+	runs := st.Heap().ReadU64(counterOff) + 1
+	st.Heap().WriteU64(counterOff, runs)
+	if err := v.Append(runs * 1000); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Persist the media image, exactly what survives power-off.
+	f, err := os.Create(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Device().WriteMediaTo(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("run #%d recorded; log now holds %d entries:", runs, v.Len())
+	v.ForEach(func(i int, val uint64) bool {
+		fmt.Printf(" %d", val)
+		return true
+	})
+	fmt.Printf("\nimage saved to %s (check it with: go run ./cmd/crpmck -img %s -heap %d -segment %d)\n",
+		*path, *path, opts.HeapSize, opts.SegmentSize)
+}
+
+func openOrCreate(path string, opts crpm.Options) (*crpm.Store, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			st, err := crpm.CreateStore(opts)
+			return st, true, err
+		}
+		return nil, false, err
+	}
+	defer f.Close()
+	dev, err := crpm.ReadDeviceFrom(f)
+	if err != nil {
+		return nil, false, err
+	}
+	st, err := crpm.OpenStore(dev, opts)
+	return st, false, err
+}

@@ -1,0 +1,65 @@
+package crpm
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and executes every runnable example, keeping the
+// documentation honest: a demo that stops working fails CI.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples invoke the go toolchain")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want []string
+	}{
+		{"quickstart", nil, []string{"recovered exactly the committed state"}},
+		{"kvstore", nil, []string{"hash and tree indexes agree", "recovered tree passes"}},
+		{"lulesh", nil, []string{"bit-identical to the uninterrupted run"}},
+		{"crashtest", []string{"-trials", "4"}, []string{"matched the committed state"}},
+	}
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			out := runExample(t, c.dir, c.args...)
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Fatalf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestFilestoreExamplePersistsAcrossRuns executes the filestore example
+// twice against one image file — two real processes sharing one "NVM DIMM".
+func TestFilestoreExamplePersistsAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples invoke the go toolchain")
+	}
+	img := filepath.Join(t.TempDir(), "store.img")
+	first := runExample(t, "filestore", "-img", img)
+	if !strings.Contains(first, "run #1") {
+		t.Fatalf("first run: %s", first)
+	}
+	second := runExample(t, "filestore", "-img", img)
+	if !strings.Contains(second, "run #2") || !strings.Contains(second, "2 entries") {
+		t.Fatalf("second run did not resume from the image:\n%s", second)
+	}
+}
+
+func runExample(t *testing.T, dir string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./examples/" + dir}, args...)...)
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+	}
+	return string(out)
+}

@@ -1,0 +1,3 @@
+module libcrpm
+
+go 1.22

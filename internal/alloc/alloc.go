@@ -1,0 +1,178 @@
+// Package alloc implements the persistent memory allocator libcrpm provides
+// for managing program-state objects (§3.2, §4). All allocator metadata —
+// size-class free lists, the bump pointer, and the root pointer array used
+// to retrieve objects after a restart — lives inside the container heap and
+// is mutated through the instrumented accessors, so it is checkpointed and
+// recovered together with the data it describes. A crash rolls allocator
+// state back to the last checkpoint atomically with application state: no
+// leaks, no dangling objects.
+//
+// Addresses are heap offsets, never Go pointers; offset 0 is the null
+// reference (the header occupies it, so no allocation ever returns 0).
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"libcrpm/internal/heap"
+)
+
+// NumRoots is the size of the root pointer array (§3.2).
+const NumRoots = 16
+
+// Magic identifies a formatted allocator arena.
+const Magic uint64 = 0x4352504d414c4c43 // "CRPMALLC"
+
+const (
+	offMagic    = 0
+	offHeapSize = 8
+	offBump     = 16
+	offRoots    = 24
+	offClasses  = offRoots + 8*NumRoots
+	// classes: free list heads, 8 bytes each
+)
+
+// minClass is the smallest allocation size class.
+const minClass = 16
+
+// numClasses covers 16 B .. 8 MB in powers of two.
+const numClasses = 20
+
+const headerSize = offClasses + 8*numClasses
+
+// blockHeaderSize precedes every allocation and records its size class.
+const blockHeaderSize = 8
+
+// Allocator manages objects inside one container heap.
+type Allocator struct {
+	h *heap.Heap
+}
+
+// classFor returns the size-class index and its byte size for a request.
+func classFor(n int) (int, int, error) {
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("alloc: invalid size %d", n)
+	}
+	size := minClass
+	for c := 0; c < numClasses; c++ {
+		if n <= size {
+			return c, size, nil
+		}
+		size *= 2
+	}
+	return 0, 0, fmt.Errorf("alloc: size %d exceeds the largest class (%d)", n, minClass<<(numClasses-1))
+}
+
+// Format initializes a fresh arena over the whole heap and returns the
+// allocator. It must be followed by a checkpoint to become durable.
+func Format(h *heap.Heap) (*Allocator, error) {
+	if h.Size() < headerSize+minClass {
+		return nil, errors.New("alloc: heap too small for allocator header")
+	}
+	a := &Allocator{h: h}
+	h.WriteU64(offMagic, Magic)
+	h.WriteU64(offHeapSize, uint64(h.Size()))
+	h.WriteU64(offBump, uint64(headerSize))
+	for i := 0; i < NumRoots; i++ {
+		h.WriteU64(offRoots+8*i, 0)
+	}
+	for c := 0; c < numClasses; c++ {
+		h.WriteU64(offClasses+8*c, 0)
+	}
+	return a, nil
+}
+
+// Open attaches to a previously formatted arena (after recovery).
+func Open(h *heap.Heap) (*Allocator, error) {
+	if h.Size() < headerSize {
+		return nil, errors.New("alloc: heap too small")
+	}
+	if got := h.ReadU64(offMagic); got != Magic {
+		return nil, fmt.Errorf("alloc: bad magic %#x", got)
+	}
+	if got := h.ReadU64(offHeapSize); got != uint64(h.Size()) {
+		return nil, fmt.Errorf("alloc: arena formatted for %d bytes, heap is %d", got, h.Size())
+	}
+	return &Allocator{h: h}, nil
+}
+
+// Heap returns the underlying instrumented heap.
+func (a *Allocator) Heap() *heap.Heap { return a.h }
+
+// Alloc reserves n bytes and returns the offset of the usable region. The
+// memory is not zeroed if it was previously freed; use AllocZero when the
+// caller depends on zero contents.
+func (a *Allocator) Alloc(n int) (int, error) {
+	c, size, err := classFor(n)
+	if err != nil {
+		return 0, err
+	}
+	headOff := offClasses + 8*c
+	if head := a.h.ReadU64(headOff); head != 0 {
+		next := a.h.ReadU64(int(head))
+		a.h.WriteU64(headOff, next)
+		return int(head), nil
+	}
+	bump := int(a.h.ReadU64(offBump))
+	need := blockHeaderSize + size
+	if bump+need > a.h.Size() {
+		return 0, fmt.Errorf("alloc: out of memory (need %d bytes, %d free)", need, a.h.Size()-bump)
+	}
+	a.h.WriteU64(offBump, uint64(bump+need))
+	a.h.WriteU64(bump, uint64(c)) // block header: size class
+	return bump + blockHeaderSize, nil
+}
+
+// AllocZero is Alloc followed by clearing the returned region.
+func (a *Allocator) AllocZero(n int) (int, error) {
+	off, err := a.Alloc(n)
+	if err != nil {
+		return 0, err
+	}
+	a.h.Zero(off, n)
+	return off, nil
+}
+
+// Free returns an allocation to its size-class free list. Freeing offset 0
+// is a no-op, mirroring free(NULL).
+func (a *Allocator) Free(off int) {
+	if off == 0 {
+		return
+	}
+	hdr := off - blockHeaderSize
+	c := int(a.h.ReadU64(hdr))
+	if c < 0 || c >= numClasses {
+		panic(fmt.Sprintf("alloc: Free(%d): corrupt block header (class %d)", off, c))
+	}
+	headOff := offClasses + 8*c
+	a.h.WriteU64(off, a.h.ReadU64(headOff))
+	a.h.WriteU64(headOff, uint64(off))
+}
+
+// UsableSize returns the capacity of an allocation (its class size).
+func (a *Allocator) UsableSize(off int) int {
+	c := int(a.h.ReadU64(off - blockHeaderSize))
+	return minClass << c
+}
+
+// SetRoot stores a root pointer (§3.2): the offsets applications use to find
+// their objects again after a restart.
+func (a *Allocator) SetRoot(i int, off uint64) {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("alloc: root index %d out of range", i))
+	}
+	a.h.WriteU64(offRoots+8*i, off)
+}
+
+// Root loads a root pointer.
+func (a *Allocator) Root(i int) uint64 {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("alloc: root index %d out of range", i))
+	}
+	return a.h.ReadU64(offRoots + 8*i)
+}
+
+// Used returns the bump high-water mark: bytes of the heap ever allocated
+// (including block headers and the allocator header).
+func (a *Allocator) Used() int { return int(a.h.ReadU64(offBump)) }

@@ -1,0 +1,53 @@
+package alloc
+
+import (
+	"testing"
+
+	"libcrpm/internal/baselines/nvmnp"
+	"libcrpm/internal/heap"
+)
+
+// FuzzAllocFree drives arbitrary allocate/free sequences and checks the
+// allocator never hands out overlapping or out-of-bounds memory.
+func FuzzAllocFree(f *testing.F) {
+	f.Add([]byte{10, 200, 3, 0, 0, 255})
+	f.Add([]byte{1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 600 {
+			return
+		}
+		h := heap.New(nvmnp.New(1 << 18))
+		a, err := Format(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type blk struct{ off, usable int }
+		var live []blk
+		for _, op := range ops {
+			if op%4 == 0 && len(live) > 0 {
+				i := int(op/4) % len(live)
+				a.Free(live[i].off)
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := 1 + int(op)*7%900
+			off, err := a.Alloc(size)
+			if err != nil {
+				continue // OOM is legal
+			}
+			usable := a.UsableSize(off)
+			if usable < size {
+				t.Fatalf("Alloc(%d) gave only %d usable bytes", size, usable)
+			}
+			if off <= 0 || off+usable > h.Size() {
+				t.Fatalf("allocation [%d,%d) out of heap", off, off+usable)
+			}
+			for _, b := range live {
+				if off < b.off+b.usable && b.off < off+usable {
+					t.Fatalf("overlap: [%d,%d) vs [%d,%d)", off, off+usable, b.off, b.off+b.usable)
+				}
+			}
+			live = append(live, blk{off, usable})
+		}
+	})
+}

@@ -1,0 +1,249 @@
+// Package hpccg is a Go port of the HPCCG mini-application (Mantevo) used
+// in the paper's parallel-computing evaluation (§5.2.2): a conjugate-
+// gradient solve of a sparse 7-point-stencil system over a 3-D grid,
+// decomposed across MPI ranks along the z axis with halo exchange and
+// allreduce dot products. Program state (x, r, p and the CG scalar) lives in
+// a checkpoint container; checkpoints every few iterations make the solver
+// restartable, and the stepping is bitwise deterministic so a recovered run
+// finishes with exactly the state of an uninterrupted one.
+package hpccg
+
+import (
+	"errors"
+	"fmt"
+
+	"libcrpm/internal/apps/appbase"
+	"libcrpm/internal/ckpt"
+	"libcrpm/internal/mpi"
+)
+
+// Config sizes one rank's subdomain.
+type Config struct {
+	// NX, NY are the full grid extents in x and y.
+	NX, NY int
+	// NZLocal is this rank's slab thickness in z.
+	NZLocal int
+}
+
+func (c Config) n() int { return c.NX * c.NY * c.NZLocal }
+
+// arrays: x (solution), r (residual), p (search direction), scalars.
+const (
+	arrX = iota
+	arrR
+	arrP
+	arrScal
+	numArrays
+)
+
+// scalar slots in arrScal.
+const (
+	scalRR = iota // r·r carried between iterations
+	numScal
+)
+
+// Sim is one rank of the solver.
+type Sim struct {
+	cfg  Config
+	comm *mpi.Comm
+	st   *appbase.State
+
+	// DRAM scratch, recomputed every iteration: the matvec result and the
+	// ghost planes received from neighbours.
+	ap        []float64
+	ghostLow  []float64
+	ghostHigh []float64
+}
+
+func (c Config) lengths() []int {
+	return []int{c.n(), c.n(), c.n(), numScal}
+}
+
+func (c Config) validate() error {
+	if c.NX < 2 || c.NY < 2 || c.NZLocal < 1 {
+		return fmt.Errorf("hpccg: grid %dx%dx%d too small", c.NX, c.NY, c.NZLocal)
+	}
+	return nil
+}
+
+// New creates a fresh solver state on the backend: x = 0, r = p = b (the
+// all-ones right-hand side), rr = r·r.
+func New(cfg Config, comm *mpi.Comm, b ckpt.Backend) (*Sim, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	st, err := appbase.New(b, cfg.lengths())
+	if err != nil {
+		return nil, err
+	}
+	s := newSim(cfg, comm, st)
+	r, p := st.Array(arrR), st.Array(arrP)
+	for i := 0; i < cfg.n(); i++ {
+		r.Set(i, 1.0)
+		p.Set(i, 1.0)
+	}
+	rr := s.dot(st.Array(arrR), st.Array(arrR))
+	st.Array(arrScal).Set(scalRR, rr)
+	return s, nil
+}
+
+// Attach re-opens a recovered state.
+func Attach(cfg Config, comm *mpi.Comm, b ckpt.Backend) (*Sim, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	st, err := appbase.Attach(b, cfg.lengths())
+	if err != nil {
+		return nil, err
+	}
+	return newSim(cfg, comm, st), nil
+}
+
+func newSim(cfg Config, comm *mpi.Comm, st *appbase.State) *Sim {
+	plane := cfg.NX * cfg.NY
+	return &Sim{
+		cfg:       cfg,
+		comm:      comm,
+		st:        st,
+		ap:        make([]float64, cfg.n()),
+		ghostLow:  make([]float64, plane),
+		ghostHigh: make([]float64, plane),
+	}
+}
+
+// State exposes the persistent state (iteration counter, footprint).
+func (s *Sim) State() *appbase.State { return s.st }
+
+// Iter returns the completed iteration count.
+func (s *Sim) Iter() int { return s.st.Iter() }
+
+// Residual returns the current global residual norm squared.
+func (s *Sim) Residual() float64 { return s.st.Array(arrScal).Get(scalRR) }
+
+func (s *Sim) idx(x, y, z int) int { return (z*s.cfg.NY+y)*s.cfg.NX + x }
+
+// dot computes the global dot product of two state arrays, allreduced in
+// deterministic rank order.
+func (s *Sim) dot(a, b appbase.Array) float64 {
+	local := 0.0
+	for i := 0; i < a.Len(); i++ {
+		local += a.Get(i) * b.Get(i)
+	}
+	return s.comm.AllreduceF64(local, mpi.Sum)
+}
+
+// exchangeHalo fills the ghost planes with the neighbouring ranks' boundary
+// planes of array p.
+func (s *Sim) exchangeHalo(p appbase.Array) {
+	plane := s.cfg.NX * s.cfg.NY
+	rank, size := s.comm.Rank(), s.comm.Size()
+	for i := range s.ghostLow {
+		s.ghostLow[i] = 0
+		s.ghostHigh[i] = 0
+	}
+	// Exchange with the lower neighbour, then the higher one; even ranks
+	// initiate to keep the pairing deterministic and deadlock-free.
+	if rank > 0 {
+		send := make([]float64, plane)
+		for i := 0; i < plane; i++ {
+			send[i] = p.Get(i) // z = 0 plane
+		}
+		copy(s.ghostLow, s.comm.SendRecv(rank-1, send))
+	}
+	if rank < size-1 {
+		send := make([]float64, plane)
+		base := s.idx(0, 0, s.cfg.NZLocal-1)
+		for i := 0; i < plane; i++ {
+			send[i] = p.Get(base + i)
+		}
+		copy(s.ghostHigh, s.comm.SendRecv(rank+1, send))
+	}
+}
+
+// matvec computes ap = A·p for the 7-point stencil A = 8I - Σ neighbours
+// (diagonally dominant, symmetric positive definite). Out-of-domain
+// neighbours are zero (Dirichlet).
+func (s *Sim) matvec(p appbase.Array) {
+	s.exchangeHalo(p)
+	nx, ny, nz := s.cfg.NX, s.cfg.NY, s.cfg.NZLocal
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				i := s.idx(x, y, z)
+				sum := 8.0 * p.Get(i)
+				if x > 0 {
+					sum -= p.Get(i - 1)
+				}
+				if x < nx-1 {
+					sum -= p.Get(i + 1)
+				}
+				if y > 0 {
+					sum -= p.Get(i - nx)
+				}
+				if y < ny-1 {
+					sum -= p.Get(i + nx)
+				}
+				if z > 0 {
+					sum -= p.Get(i - nx*ny)
+				} else {
+					sum -= s.ghostLow[y*nx+x]
+				}
+				if z < nz-1 {
+					sum -= p.Get(i + nx*ny)
+				} else {
+					sum -= s.ghostHigh[y*nx+x]
+				}
+				s.ap[i] = sum
+			}
+		}
+	}
+}
+
+// Step performs one CG iteration.
+func (s *Sim) Step() {
+	x, r, p := s.st.Array(arrX), s.st.Array(arrR), s.st.Array(arrP)
+	scal := s.st.Array(arrScal)
+	rr := scal.Get(scalRR)
+
+	s.matvec(p)
+	pap := 0.0
+	for i := 0; i < p.Len(); i++ {
+		pap += p.Get(i) * s.ap[i]
+	}
+	pap = s.comm.AllreduceF64(pap, mpi.Sum)
+	if pap == 0 {
+		return // converged (or degenerate); nothing to update
+	}
+	alpha := rr / pap
+	for i := 0; i < x.Len(); i++ {
+		x.Set(i, x.Get(i)+alpha*p.Get(i))
+		r.Set(i, r.Get(i)-alpha*s.ap[i])
+	}
+	rrNew := s.dot(r, r)
+	beta := rrNew / rr
+	for i := 0; i < p.Len(); i++ {
+		p.Set(i, r.Get(i)+beta*p.Get(i))
+	}
+	scal.Set(scalRR, rrNew)
+}
+
+// Run advances the solver to iteration target, checkpointing every
+// ckptEvery completed iterations through ckpt (which the caller wires to
+// mpi.Checkpoint, backend.Checkpoint, or nothing). It resumes from the
+// persisted iteration counter.
+func (s *Sim) Run(target, ckptEvery int, ckpt func() error) error {
+	if ckptEvery > 0 && ckpt == nil {
+		return errors.New("hpccg: ckptEvery set without a checkpoint function")
+	}
+	for it := s.st.Iter(); it < target; {
+		s.Step()
+		it++
+		s.st.SetIter(it)
+		if ckptEvery > 0 && it%ckptEvery == 0 {
+			if err := ckpt(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package dali
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func (m *Map) findCycle(t *testing.T) bool {
+	w := m.dev.Working()
+	for b := 0; b < m.nBuckets; b++ {
+		for s := 0; s < slotCount; s++ {
+			off := m.bucketOff + b*bucketSize + s*16
+			h := binary.LittleEndian.Uint64(w[off+8:])
+			seen := map[uint64]bool{}
+			for e := h; e != 0; {
+				if seen[e] {
+					t.Logf("cycle in bucket %d slot %d at entry %d", b, s, e)
+					return true
+				}
+				seen[e] = true
+				e = binary.LittleEndian.Uint64(w[int(e)+16:])
+			}
+		}
+	}
+	return false
+}
+
+func TestFindCycleRepro(t *testing.T) {
+	m, _ := New(Config{Buckets: 4, Capacity: 4096})
+	rng := rand.New(rand.NewSource(1))
+	for epoch := 0; epoch < 10; epoch++ {
+		for i := 0; i < 30; i++ {
+			k := uint64(rng.Intn(40))
+			if err := m.Put(k, rng.Uint64()); err != nil {
+				t.Fatal(err)
+			}
+			if m.findCycle(t) {
+				t.Fatalf("cycle after Put #%d epoch %d key %d (freelist len %d)", i, epoch, k, len(m.freeList))
+			}
+		}
+		if err := m.EpochPersist(); err != nil {
+			t.Fatal(err)
+		}
+		if m.findCycle(t) {
+			t.Fatalf("cycle after persist of epoch %d", epoch)
+		}
+	}
+}

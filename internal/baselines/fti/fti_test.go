@@ -1,0 +1,198 @@
+package fti
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"libcrpm/internal/nvm"
+)
+
+func writeU64(b *Backend, off int, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.OnWrite(off, 8)
+	b.Write(off, buf[:])
+}
+
+func readU64(b *Backend, off int) uint64 {
+	return binary.LittleEndian.Uint64(b.Bytes()[off:])
+}
+
+func configs(size int) []Config {
+	return []Config{{HeapSize: size}, {HeapSize: size, Incremental: true}}
+}
+
+func TestCheckpointCrashRecover(t *testing.T) {
+	for _, cfg := range configs(32 * 1024) {
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeU64(b, 0, 11)
+		writeU64(b, 20000, 22)
+		if err := b.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		writeU64(b, 0, 99) // uncommitted DRAM write: always lost
+		b.Device().CrashPersistAll()
+		b2, err := Open(cfg, b.Device())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := readU64(b2, 0); got != 11 {
+			t.Fatalf("%s: off 0 = %d, want 11", b.Name(), got)
+		}
+		if got := readU64(b2, 20000); got != 22 {
+			t.Fatalf("%s: off 20000 = %d, want 22", b.Name(), got)
+		}
+	}
+}
+
+func TestDoubleBufferSurvivesCrashMidCheckpoint(t *testing.T) {
+	for _, cfg := range configs(32 * 1024) {
+		rng := rand.New(rand.NewSource(17))
+		for fail := int64(10); fail < 1200; fail += 53 {
+			b, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shadows := map[uint32][]byte{0: make([]byte, b.Size())}
+			epoch := uint32(0)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(nvm.InjectedCrash); !ok {
+							panic(r)
+						}
+					}
+				}()
+				b.Device().FailAfter(fail)
+				for i := 0; i < 30; i++ {
+					if i%7 == 6 {
+						snap := make([]byte, b.Size())
+						copy(snap, b.Bytes())
+						shadows[epoch+1] = snap
+						if err := b.Checkpoint(); err != nil {
+							panic(err)
+						}
+						epoch++
+						continue
+					}
+					writeU64(b, (i*512)%(b.Size()-8), uint64(i+1))
+				}
+			}()
+			b.Device().FailAfter(-1)
+			b.Device().Crash(rng)
+			b2, err := Open(cfg, b.Device())
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, _ := b2.commit()
+			want, ok := shadows[e]
+			if !ok {
+				t.Fatalf("%s fail %d: recovered to unseen epoch %d", b.Name(), fail, e)
+			}
+			if !bytes.Equal(b2.Bytes(), want) {
+				t.Fatalf("%s fail %d: recovered state differs from epoch %d", b.Name(), fail, e)
+			}
+		}
+	}
+}
+
+func TestFullCheckpointWritesEverything(t *testing.T) {
+	b, err := New(Config{HeapSize: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeU64(b, 0, 1) // 8 bytes changed
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Metrics().CheckpointBytes; got != 64*1024 {
+		t.Fatalf("full checkpoint wrote %d bytes, want the whole %d", got, 64*1024)
+	}
+}
+
+func TestIncrementalSkipsUnchangedBlocks(t *testing.T) {
+	b, err := New(Config{HeapSize: 64 * 1024, Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeU64(b, 0, 1)
+	if err := b.Checkpoint(); err != nil { // first: writes all non-matching blocks
+		t.Fatal(err)
+	}
+	first := b.Metrics().CheckpointBytes
+	writeU64(b, 0, 2)
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	writeU64(b, 0, 3)
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Steady state: one 256 B block per epoch.
+	delta := b.Metrics().CheckpointBytes - first
+	if delta > 2*HashBlockSize+64*1024 { // slot B's first fill can be large once
+		t.Fatalf("incremental epochs wrote %d bytes", delta)
+	}
+	// Hashing still covers the full region every epoch.
+	writeU64(b, 0, 4)
+	t0 := b.Device().Clock().NowPS()
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	hashPS := int64(64*1024) * b.Device().Cost().HashBytePS
+	if b.Device().Clock().NowPS()-t0 < hashPS {
+		t.Fatal("incremental checkpoint did not pay the full hash cost (footnote 4)")
+	}
+}
+
+func TestProtectLimitsSerialization(t *testing.T) {
+	b, err := New(Config{HeapSize: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Protect(1000) // rounds to 1024
+	writeU64(b, 0, 5)
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Metrics().CheckpointBytes; got != 1024 {
+		t.Fatalf("protected checkpoint wrote %d, want 1024", got)
+	}
+	b.Device().CrashDropAll()
+	b2, err := Open(Config{HeapSize: 64 * 1024}, b.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readU64(b2, 0); got != 5 {
+		t.Fatalf("protected data lost: %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Protect out of range did not panic")
+		}
+	}()
+	b2.Protect(1 << 30)
+}
+
+func TestOpenRejectsBadDevice(t *testing.T) {
+	cfg := Config{HeapSize: 32 * 1024}
+	if _, err := Open(cfg, nvm.NewDevice(1024)); err == nil {
+		t.Fatal("Open on tiny device succeeded")
+	}
+	if _, err := Open(cfg, nvm.NewDevice(1<<20)); err == nil {
+		t.Fatal("Open on unformatted device succeeded")
+	}
+}
+
+func TestNames(t *testing.T) {
+	a, _ := New(Config{HeapSize: 4096})
+	c, _ := New(Config{HeapSize: 4096, Incremental: true})
+	if a.Name() != "FTI" || c.Name() != "FTI-incremental" {
+		t.Fatalf("names: %q %q", a.Name(), c.Name())
+	}
+}

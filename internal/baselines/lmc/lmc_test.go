@@ -1,0 +1,197 @@
+package lmc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"libcrpm/internal/nvm"
+)
+
+func writeU64(b *Backend, off int, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.OnWrite(off, 8)
+	b.Write(off, buf[:])
+}
+
+func readU64(b *Backend, off int) uint64 {
+	return binary.LittleEndian.Uint64(b.Bytes()[off:])
+}
+
+func TestCheckpointCrashRecover(t *testing.T) {
+	b, err := New(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeU64(b, 0, 11)
+	writeU64(b, 30000, 22)
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	writeU64(b, 0, 99)
+	b.Device().CrashPersistAll()
+	b2, err := Open(64*1024, b.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readU64(b2, 0); got != 11 {
+		t.Fatalf("off 0 = %d, want 11", got)
+	}
+	if got := readU64(b2, 30000); got != 22 {
+		t.Fatalf("off 30000 = %d, want 22", got)
+	}
+}
+
+func TestTwoFencesPerRecord(t *testing.T) {
+	b, err := New(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := b.Device().Stats().SFences
+	writeU64(b, 0, 1)
+	if got := b.Device().Stats().SFences - before; got != 2 {
+		t.Fatalf("record cost %d fences, want 2", got)
+	}
+	writeU64(b, 16, 2)
+	if got := b.Device().Stats().SFences - before; got != 2 {
+		t.Fatalf("same granule re-fenced: %d", got)
+	}
+}
+
+func TestLMCCheaperThanUndoLogPerEpoch(t *testing.T) {
+	// LMC has no log-head metadata: fewer flushes per record and no
+	// truncation store, so an identical workload must cost no more
+	// simulated time than the undo log. (Verified indirectly: CLWBs.)
+	b, err := New(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		writeU64(b, i*256, uint64(i))
+	}
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// 20 records via NT stores: no per-record clwb at all; checkpoint
+	// flushes 20 granules (4 lines each) + epoch line.
+	clwbs := b.Device().Stats().CLWBs
+	if clwbs > 20*4+4 {
+		t.Fatalf("LMC used %d clwbs, more than flush-only budget", clwbs)
+	}
+}
+
+func TestEpochTagInvalidation(t *testing.T) {
+	// Records from a committed epoch must not be applied at recovery.
+	b, err := New(32 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeU64(b, 0, 1)
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	writeU64(b, 0, 2)
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash with no writes in the new epoch: nothing to roll back.
+	b.Device().CrashDropAll()
+	b2, err := Open(32*1024, b.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readU64(b2, 0); got != 2 {
+		t.Fatalf("got %d, want 2 (stale record applied?)", got)
+	}
+}
+
+func TestRandomizedCrashRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 12; trial++ {
+		b, err := New(32 * 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := make([]byte, b.Size())
+		steps := rng.Intn(80) + 10
+		for i := 0; i < steps; i++ {
+			if i%11 == 10 {
+				if err := b.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				copy(shadow, b.Bytes())
+				continue
+			}
+			writeU64(b, rng.Intn(b.Size()/8-1)*8, rng.Uint64())
+		}
+		b.Device().Crash(rng)
+		b2, err := Open(32*1024, b.Device())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b2.Bytes(), shadow) {
+			t.Fatalf("trial %d: recovered state differs from last checkpoint", trial)
+		}
+	}
+}
+
+func TestCrashSweepInsideProtocol(t *testing.T) {
+	size := 16 * 1024
+	rng := rand.New(rand.NewSource(5))
+	for fail := int64(5); fail < 2500; fail += 31 {
+		b, err := New(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadows := map[uint64][]byte{0: make([]byte, size)}
+		epoch := uint64(0)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(nvm.InjectedCrash); !ok {
+						panic(r)
+					}
+				}
+			}()
+			b.Device().FailAfter(fail)
+			for i := 0; i < 40; i++ {
+				if i%9 == 8 {
+					snap := make([]byte, size)
+					copy(snap, b.Bytes())
+					shadows[epoch+1] = snap
+					if err := b.Checkpoint(); err != nil {
+						panic(err)
+					}
+					epoch++
+					continue
+				}
+				writeU64(b, (i*264)%(size-8), uint64(i+1))
+			}
+		}()
+		b.Device().FailAfter(-1)
+		b.Device().Crash(rng)
+		b2, err := Open(size, b.Device())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := b2.committed()
+		want, ok := shadows[e]
+		if !ok {
+			t.Fatalf("fail %d: recovered to unseen epoch %d", fail, e)
+		}
+		if !bytes.Equal(b2.Bytes(), want) {
+			t.Fatalf("fail %d: recovered state differs from epoch %d", fail, e)
+		}
+	}
+}
+
+func TestOpenRejectsBadDevice(t *testing.T) {
+	if _, err := Open(32*1024, nvm.NewDevice(1024)); err == nil {
+		t.Fatal("Open on tiny device succeeded")
+	}
+	if _, err := Open(32*1024, nvm.NewDevice(64<<20)); err == nil {
+		t.Fatal("Open on unformatted device succeeded")
+	}
+}

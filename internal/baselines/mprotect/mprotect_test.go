@@ -1,0 +1,44 @@
+package mprotect
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestWrapperRoundTrip(t *testing.T) {
+	b, err := New(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "Mprotect" {
+		t.Fatalf("name %q", b.Name())
+	}
+	b.OnWrite(0, 8)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], 77)
+	b.Write(0, buf[:])
+	if got := b.Device().Stats().PageFaults; got != 1 {
+		t.Fatalf("faults = %d, want 1 (mprotect traces via faults)", got)
+	}
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	b.Device().CrashDropAll()
+	b2, err := Open(64*1024, b.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(b2.Bytes()); got != 77 {
+		t.Fatalf("recovered %d", got)
+	}
+}
+
+func TestOpenWrongSize(t *testing.T) {
+	b, err := New(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(128*1024, b.Device()); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

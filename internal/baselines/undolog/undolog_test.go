@@ -1,0 +1,186 @@
+package undolog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"libcrpm/internal/nvm"
+)
+
+func writeU64(b *Backend, off int, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.OnWrite(off, 8)
+	b.Write(off, buf[:])
+}
+
+func readU64(b *Backend, off int) uint64 {
+	return binary.LittleEndian.Uint64(b.Bytes()[off:])
+}
+
+func TestCheckpointCrashRecover(t *testing.T) {
+	b, err := New(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeU64(b, 0, 11)
+	writeU64(b, 30000, 22)
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	writeU64(b, 0, 99)
+	writeU64(b, 40000, 77)
+	b.Device().CrashPersistAll() // adversarial: everything in flight lands
+	b2, err := Open(64*1024, b.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readU64(b2, 0); got != 11 {
+		t.Fatalf("off 0 = %d, want 11", got)
+	}
+	if got := readU64(b2, 30000); got != 22 {
+		t.Fatalf("off 30000 = %d, want 22", got)
+	}
+	if got := readU64(b2, 40000); got != 0 {
+		t.Fatalf("off 40000 = %d, want 0 (undo must revert it)", got)
+	}
+}
+
+func TestTwoFencesPerRecord(t *testing.T) {
+	b, err := New(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := b.Device().Stats().SFences
+	writeU64(b, 0, 1) // first touch of granule 0: one record
+	if got := b.Device().Stats().SFences - before; got != 2 {
+		t.Fatalf("record cost %d fences, want 2 (§2.2.2)", got)
+	}
+	writeU64(b, 8, 2) // same granule: no record
+	if got := b.Device().Stats().SFences - before; got != 2 {
+		t.Fatalf("second write re-logged: %d fences", got)
+	}
+	writeU64(b, 256, 3) // next granule
+	if got := b.Device().Stats().SFences - before; got != 4 {
+		t.Fatalf("want 4 fences after two records, got %d", got)
+	}
+}
+
+func TestRecordPerGranulePerEpoch(t *testing.T) {
+	b, err := New(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeU64(b, 0, 1)
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ev := b.Metrics().TraceEvents
+	writeU64(b, 0, 2) // new epoch: granule is re-logged
+	if b.Metrics().TraceEvents != ev+1 {
+		t.Fatal("granule not re-logged in new epoch")
+	}
+}
+
+func TestRandomizedCrashRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 12; trial++ {
+		b, err := New(32 * 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := make([]byte, b.Size())
+		steps := rng.Intn(80) + 10
+		for i := 0; i < steps; i++ {
+			if i%11 == 10 {
+				if err := b.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				copy(shadow, b.Bytes())
+				continue
+			}
+			writeU64(b, rng.Intn(b.Size()/8-1)*8, rng.Uint64())
+		}
+		b.Device().Crash(rng)
+		b2, err := Open(32*1024, b.Device())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b2.Bytes(), shadow) {
+			t.Fatalf("trial %d: recovered state differs from last checkpoint", trial)
+		}
+	}
+}
+
+func TestCrashSweepInsideProtocol(t *testing.T) {
+	// Crash at every stride-th device primitive, including inside record
+	// appends and inside the checkpoint itself.
+	size := 16 * 1024
+	rng := rand.New(rand.NewSource(21))
+	for fail := int64(5); fail < 3000; fail += 37 {
+		b, err := New(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadows := map[uint32][]byte{0: make([]byte, size)}
+		epoch := uint32(0)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(nvm.InjectedCrash); !ok {
+						panic(r)
+					}
+				}
+			}()
+			b.Device().FailAfter(fail)
+			for i := 0; i < 40; i++ {
+				if i%9 == 8 {
+					snap := make([]byte, size)
+					copy(snap, b.Bytes())
+					shadows[epoch+1] = snap
+					if err := b.Checkpoint(); err != nil {
+						panic(err)
+					}
+					epoch++
+					continue
+				}
+				writeU64(b, (i*264)%(size-8), uint64(i+1))
+			}
+		}()
+		b.Device().FailAfter(-1)
+		b.Device().Crash(rng)
+		b2, err := Open(size, b.Device())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, _ := b2.commitHead()
+		want, ok := shadows[e]
+		if !ok {
+			t.Fatalf("fail %d: recovered to unseen epoch %d", fail, e)
+		}
+		if !bytes.Equal(b2.Bytes(), want) {
+			t.Fatalf("fail %d: recovered state differs from epoch %d", fail, e)
+		}
+	}
+}
+
+func TestOpenRejectsBadDevice(t *testing.T) {
+	if _, err := Open(32*1024, nvm.NewDevice(1024)); err == nil {
+		t.Fatal("Open on tiny device succeeded")
+	}
+	if _, err := Open(32*1024, nvm.NewDevice(64<<20)); err == nil {
+		t.Fatal("Open on unformatted device succeeded")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b, _ := New(16 * 1024)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b.OnWrite(-1, 8)
+}

@@ -1,0 +1,173 @@
+// Package bitmap implements dense fixed-size bitsets used for the dirty
+// block, dirty segment, and dirty page tracking structures of the
+// checkpoint-recovery protocols. The hot paths (Set, Test) are branch-light
+// because the instrumented write hook executes them on every store.
+package bitmap
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset. The zero value is unusable; create one
+// with New. Set is not safe for concurrent mutation.
+type Set struct {
+	words []uint64
+	n     int
+	count int
+}
+
+// New returns a bitset holding n bits, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitmap: negative size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Count returns the number of set bits.
+func (s *Set) Count() int { return s.count }
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool { return s.count > 0 }
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set sets bit i and reports whether it was previously clear.
+func (s *Set) Set(i int) bool {
+	w, m := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	if s.words[w]&m != 0 {
+		return false
+	}
+	s.words[w] |= m
+	s.count++
+	return true
+}
+
+// Clear clears bit i and reports whether it was previously set.
+func (s *Set) Clear(i int) bool {
+	w, m := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	if s.words[w]&m == 0 {
+		return false
+	}
+	s.words[w] &^= m
+	s.count--
+	return true
+}
+
+// SetRange sets bits [from, to).
+func (s *Set) SetRange(from, to int) {
+	for i := from; i < to; i++ {
+		s.Set(i)
+	}
+}
+
+// ClearRange clears bits [from, to).
+func (s *Set) ClearRange(from, to int) {
+	for i := from; i < to; i++ {
+		s.Clear(i)
+	}
+}
+
+// ClearAll clears every bit.
+func (s *Set) ClearAll() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.count = 0
+}
+
+// NextSet returns the index of the first set bit at or after from, or -1 if
+// there is none.
+func (s *Set) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return -1
+	}
+	w := from / wordBits
+	word := s.words[w] >> (uint(from) % wordBits)
+	if word != 0 {
+		i := from + bits.TrailingZeros64(word)
+		if i < s.n {
+			return i
+		}
+		return -1
+	}
+	for w++; w < len(s.words); w++ {
+		if s.words[w] != 0 {
+			i := w*wordBits + bits.TrailingZeros64(s.words[w])
+			if i < s.n {
+				return i
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for w, word := range s.words {
+		for word != 0 {
+			i := w*wordBits + bits.TrailingZeros64(word)
+			if i >= s.n {
+				return
+			}
+			fn(i)
+			word &= word - 1
+		}
+	}
+}
+
+// CountRange returns the number of set bits in [from, to).
+func (s *Set) CountRange(from, to int) int {
+	n := 0
+	for i := s.NextSet(from); i >= 0 && i < to; i = s.NextSet(i + 1) {
+		n++
+	}
+	return n
+}
+
+// Union sets every bit of s that is set in o. The two sets must have the
+// same capacity.
+func (s *Set) Union(o *Set) {
+	if s.n != o.n {
+		panic("bitmap: size mismatch")
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+	s.recount()
+}
+
+// CopyFrom makes s an exact copy of o. The two sets must have the same
+// capacity.
+func (s *Set) CopyFrom(o *Set) {
+	if s.n != o.n {
+		panic("bitmap: size mismatch")
+	}
+	copy(s.words, o.words)
+	s.count = o.count
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	c.CopyFrom(s)
+	return c
+}
+
+func (s *Set) recount() {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	s.count = n
+}

@@ -1,0 +1,218 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	s := New(100)
+	if s.Count() != 0 || s.Any() {
+		t.Fatalf("new set not empty: count=%d", s.Count())
+	}
+	if s.NextSet(0) != -1 {
+		t.Fatalf("NextSet on empty set = %d, want -1", s.NextSet(0))
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+}
+
+func TestSetClearTest(t *testing.T) {
+	s := New(200)
+	if !s.Set(63) {
+		t.Fatal("Set(63) on clear bit returned false")
+	}
+	if s.Set(63) {
+		t.Fatal("Set(63) on set bit returned true")
+	}
+	if !s.Test(63) {
+		t.Fatal("Test(63) = false after Set")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+	if !s.Clear(63) {
+		t.Fatal("Clear(63) on set bit returned false")
+	}
+	if s.Clear(63) {
+		t.Fatal("Clear(63) on clear bit returned true")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count after clear = %d, want 0", s.Count())
+	}
+}
+
+func TestWordBoundaries(t *testing.T) {
+	s := New(256)
+	for _, i := range []int{0, 63, 64, 127, 128, 255} {
+		s.Set(i)
+	}
+	for _, i := range []int{0, 63, 64, 127, 128, 255} {
+		if !s.Test(i) {
+			t.Errorf("bit %d not set across word boundary", i)
+		}
+	}
+	if s.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count())
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(300)
+	s.Set(5)
+	s.Set(64)
+	s.Set(299)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 299}, {299, 299}, {300, -1}, {-3, 5},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestNextSetBeyondLen(t *testing.T) {
+	// The final word may have garbage above Len; NextSet must not return
+	// indices >= Len.
+	s := New(65)
+	s.Set(64)
+	if got := s.NextSet(0); got != 64 {
+		t.Fatalf("NextSet(0) = %d, want 64", got)
+	}
+	if got := s.NextSet(65); got != -1 {
+		t.Fatalf("NextSet(65) = %d, want -1", got)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(500)
+	want := []int{3, 77, 128, 129, 400}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanges(t *testing.T) {
+	s := New(128)
+	s.SetRange(10, 20)
+	if s.Count() != 10 {
+		t.Fatalf("Count after SetRange = %d, want 10", s.Count())
+	}
+	if s.CountRange(0, 128) != 10 || s.CountRange(12, 15) != 3 {
+		t.Fatalf("CountRange wrong: full=%d sub=%d", s.CountRange(0, 128), s.CountRange(12, 15))
+	}
+	s.ClearRange(15, 25)
+	if s.Count() != 5 {
+		t.Fatalf("Count after ClearRange = %d, want 5", s.Count())
+	}
+}
+
+func TestUnionCloneCopy(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	a.Union(b)
+	for _, i := range []int{1, 50, 99} {
+		if !a.Test(i) {
+			t.Errorf("union missing bit %d", i)
+		}
+	}
+	if a.Count() != 3 {
+		t.Fatalf("union count = %d, want 3", a.Count())
+	}
+	c := a.Clone()
+	c.Clear(1)
+	if !a.Test(1) {
+		t.Fatal("Clone shares storage with original")
+	}
+	d := New(100)
+	d.CopyFrom(a)
+	if d.Count() != a.Count() {
+		t.Fatalf("CopyFrom count = %d, want %d", d.Count(), a.Count())
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union with mismatched sizes did not panic")
+		}
+	}()
+	New(10).Union(New(11))
+}
+
+func TestClearAll(t *testing.T) {
+	s := New(1000)
+	for i := 0; i < 1000; i += 7 {
+		s.Set(i)
+	}
+	s.ClearAll()
+	if s.Any() || s.NextSet(0) != -1 {
+		t.Fatal("ClearAll left bits set")
+	}
+}
+
+// TestQuickAgainstMap cross-checks the bitset against a reference map under
+// random operation sequences.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		const n = 300
+		s := New(n)
+		ref := map[int]bool{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			i := int(op) % n
+			switch rng.Intn(3) {
+			case 0:
+				s.Set(i)
+				ref[i] = true
+			case 1:
+				s.Clear(i)
+				delete(ref, i)
+			case 2:
+				if s.Test(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.Test(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetTest(b *testing.B) {
+	s := New(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		idx := (i * 2654435761) & (1<<20 - 1)
+		s.Set(idx)
+		if !s.Test(idx) {
+			b.Fatal("bit lost")
+		}
+	}
+}

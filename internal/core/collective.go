@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// Collective coordinates the paper's collective checkpoint call (§3.2):
+// every application thread calls Checkpoint and blocks until all threads
+// have entered — guaranteeing nobody is mutating container data — then one
+// leader executes the protocol and all threads resume together.
+type Collective struct {
+	c *Container
+	n int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     uint64
+	err     error
+}
+
+// NewCollective creates a coordinator for n application threads sharing the
+// container.
+func NewCollective(c *Container, n int) *Collective {
+	if n < 1 {
+		panic("core: collective needs at least one thread")
+	}
+	g := &Collective{c: c, n: n}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Checkpoint is called by every participating thread. The last thread to
+// arrive runs the container checkpoint; all threads observe its error.
+func (g *Collective) Checkpoint() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	gen := g.gen
+	g.arrived++
+	if g.arrived == g.n {
+		g.err = g.c.Checkpoint()
+		g.arrived = 0
+		g.gen++
+		g.cond.Broadcast()
+		return g.err
+	}
+	for g.gen == gen {
+		g.cond.Wait()
+	}
+	return g.err
+}
+
+// RollbackOneEpoch moves the committed epoch counter back by one, making the
+// previous checkpoint state active. It is only legal immediately after
+// opening a container (before any writes or checkpoints), which is exactly
+// the coordinated-recovery window of §3.6: both epochs e and e-1 are intact
+// until the next epoch's copy-on-writes begin. Call Recover afterwards to
+// resynchronize the regions.
+//
+// In default mode the container must run with eager checkpoint-period
+// copy-on-write disabled (EagerCoWSegments < 0): eager CoW overwrites the
+// backup copies — epoch e-1's state — during the checkpoint of epoch e,
+// which would break the paper's both-epochs-remain-recoverable guarantee.
+// The MPI support layer configures its containers accordingly.
+func (c *Container) RollbackOneEpoch() error {
+	if c.opts.Mode == ModeDefault && c.opts.EagerCoWSegments >= 0 {
+		return errors.New("core: rollback requires EagerCoWSegments < 0 (epoch e-1 must survive the checkpoint of e)")
+	}
+	e := c.meta.CommittedEpoch()
+	if e == 0 {
+		return errors.New("core: no earlier epoch to roll back to")
+	}
+	if c.dirtySegs.Any() {
+		return errors.New("core: rollback is only legal before the epoch's first write")
+	}
+	c.meta.SetCommittedEpoch(e - 1)
+	c.dev.SFence()
+	return nil
+}

@@ -1,0 +1,84 @@
+package harness
+
+import "testing"
+
+func TestAblationsRunAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness experiment")
+	}
+	sc := testScale()
+	sc.Ops = 30_000
+
+	eager, err := AblationEagerCoW(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", eager)
+	if f := cell(t, eager, 0, 2); f > cell(t, eager, 1, 2) {
+		t.Errorf("eager CoW should not raise fences/epoch: %.1f vs %.1f", f, cell(t, eager, 1, 2))
+	}
+
+	diff, err := AblationDifferentialCopy(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", diff)
+	if cell(t, diff, 0, 2) >= cell(t, diff, 1, 2) {
+		t.Errorf("differential copy should move fewer CoW bytes: %.2f vs %.2f", cell(t, diff, 0, 2), cell(t, diff, 1, 2))
+	}
+	if cell(t, diff, 0, 1) <= cell(t, diff, 1, 1) {
+		t.Errorf("differential copy should be faster: %.3f vs %.3f", cell(t, diff, 0, 1), cell(t, diff, 1, 1))
+	}
+
+	flush, err := AblationFlushThreshold(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", flush)
+	if cell(t, flush, 0, 2) != 0 {
+		t.Errorf("clwb path used wbinvd %.2f times/epoch", cell(t, flush, 0, 2))
+	}
+	if cell(t, flush, 1, 2) < 0.9 {
+		t.Errorf("wbinvd path used it only %.2f times/epoch", cell(t, flush, 1, 2))
+	}
+
+	ratio, err := AblationBackupRatio(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", ratio)
+	if len(ratio.Rows) != 3 {
+		t.Fatalf("rows %d", len(ratio.Rows))
+	}
+
+	ftiT, err := AblationFTIIncremental(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", ftiT)
+	if cell(t, ftiT, 1, 2) >= cell(t, ftiT, 0, 2) {
+		t.Errorf("incremental FTI should write less per epoch: %.2f vs %.2f", cell(t, ftiT, 1, 2), cell(t, ftiT, 0, 2))
+	}
+
+	bd, err := AblationBufferedVsDefault(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", bd)
+	if cell(t, bd, 1, 1) <= cell(t, bd, 0, 1) {
+		t.Errorf("buffered mode should execute faster: %.3f vs %.3f", cell(t, bd, 1, 1), cell(t, bd, 0, 1))
+	}
+
+	ea, err := AblationEADR(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", ea)
+	// eADR must help the fence-bound undo log far more than NVM-NP (which
+	// issues no fences at all).
+	undoSpeed := cell(t, ea, rowByName(t, ea, "Undo-log"), 2) / cell(t, ea, rowByName(t, ea, "Undo-log"), 1)
+	npSpeed := cell(t, ea, rowByName(t, ea, "NVM-NP"), 2) / cell(t, ea, rowByName(t, ea, "NVM-NP"), 1)
+	if undoSpeed <= npSpeed*1.05 {
+		t.Errorf("eADR speedup: undo-log %.2fx vs NVM-NP %.2fx; the fence problem should vanish", undoSpeed, npSpeed)
+	}
+}

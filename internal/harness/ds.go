@@ -1,0 +1,301 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"libcrpm/internal/nvm"
+	"libcrpm/internal/workload"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Fig1Breakdown reproduces Figure 1: the execution-time breakdown
+// (execution / memory trace / checkpoint) of the persistent unordered_map
+// under the balanced workload.
+func Fig1Breakdown(sc Scale) (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Figure 1: execution time breakdown, unordered_map, balanced, interval %v (%s scale)", sc.Interval, sc.Name),
+		Header: []string{"system", "total", "execution%", "memory-trace%", "checkpoint%"},
+	}
+	for _, sys := range []string{"Mprotect", "Soft-dirty bit", "Undo-log", "LMC", "libcrpm-Default", "libcrpm-Buffered"} {
+		s, err := NewDSSetup(sys, DSHashMap, sc, Geometry{})
+		if err != nil {
+			return t, err
+		}
+		d := s.Driver(sc, 1)
+		if err := d.Populate(sc.Keys); err != nil {
+			return t, fmt.Errorf("%s: %w", sys, err)
+		}
+		clock := s.Dev.Clock()
+		base := [nvm.NumCategories]int64{}
+		for c := nvm.Category(0); c < nvm.NumCategories; c++ {
+			base[c] = clock.CategoryPS(c)
+		}
+		startPS := clock.NowPS()
+		if _, err := d.Run(workload.Balanced, sc.Ops); err != nil {
+			return t, fmt.Errorf("%s: %w", sys, err)
+		}
+		total := clock.NowPS() - startPS
+		pct := func(c nvm.Category) string {
+			if total == 0 {
+				return "0.0"
+			}
+			return fmtF(float64(clock.CategoryPS(c)-base[c])/float64(total)*100, 1)
+		}
+		t.Rows = append(t.Rows, []string{
+			sys,
+			fmtDur(time.Duration((clock.NowPS() - startPS) / 1000)),
+			pct(nvm.CatExecution),
+			pct(nvm.CatTrace),
+			pct(nvm.CatCheckpoint),
+		})
+	}
+	return t, nil
+}
+
+// Fig7Throughput reproduces Figure 7: throughput of the persistent map and
+// unordered_map across the four workloads, single thread.
+func Fig7Throughput(sc Scale, kind DSKind) (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Figure 7: %s throughput (Mops/s), interval %v (%s scale)", kind, sc.Interval, sc.Name),
+		Header: []string{"system", "Insert-only", "Balanced", "Read-heavy", "Read-only"},
+	}
+	for _, sys := range DSSystems(kind) {
+		row := []string{sys}
+		for _, mix := range workload.Mixes() {
+			s, err := NewDSSetup(sys, kind, sc, Geometry{})
+			if err != nil {
+				return t, err
+			}
+			d := s.Driver(sc, 7)
+			nKeys := sc.Keys
+			if mix.InsertOnly {
+				nKeys = 0 // the paper starts insert-only runs empty
+			}
+			if nKeys > 0 {
+				if err := d.Populate(nKeys); err != nil {
+					return t, fmt.Errorf("%s/%s: %w", sys, mix.Name, err)
+				}
+			} else {
+				d.Keys = 1 // placeholder; insert-only never draws existing keys
+				if err := d.Checkpoint(); err != nil {
+					return t, err
+				}
+			}
+			res, err := d.Run(mix, sc.Ops)
+			if err != nil {
+				return t, fmt.Errorf("%s/%s: %w", sys, mix.Name, err)
+			}
+			row = append(row, fmtF(res.Throughput/1e6, 3))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table1a reproduces Table 1a: average checkpoint size in bytes per
+// operation for the page-tracking baselines and libcrpm-Default.
+func Table1a(sc Scale) (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Table 1a: average checkpoint size (bytes/op), unordered_map (%s scale)", sc.Name),
+		Header: []string{"system", "Insert-only", "Balanced", "Read-heavy"},
+		Notes: []string{
+			"checkpoint size = bytes persisted during checkpoint periods (copy-on-write traffic reported separately in the ablation bench)",
+		},
+	}
+	mixes := []workload.Mix{workload.InsertOnly, workload.Balanced, workload.ReadHeavy}
+	for _, sys := range []string{"Mprotect", "Soft-dirty bit", "libcrpm-Default"} {
+		row := []string{sys}
+		for _, mix := range mixes {
+			s, err := NewDSSetup(sys, DSHashMap, sc, Geometry{})
+			if err != nil {
+				return t, err
+			}
+			d := s.Driver(sc, 3)
+			if !mix.InsertOnly {
+				if err := d.Populate(sc.Keys); err != nil {
+					return t, err
+				}
+			} else {
+				d.Keys = 1
+				if err := d.Checkpoint(); err != nil {
+					return t, err
+				}
+			}
+			before := s.Backend.Metrics().CheckpointBytes
+			if _, err := d.Run(mix, sc.Ops); err != nil {
+				return t, fmt.Errorf("%s/%s: %w", sys, mix.Name, err)
+			}
+			delta := s.Backend.Metrics().CheckpointBytes - before
+			row = append(row, fmtF(float64(delta)/float64(sc.Ops), 1))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table1b reproduces Table 1b: sfence instructions issued per epoch for the
+// fine-grained baselines and libcrpm-Default.
+func Table1b(sc Scale) (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Table 1b: sfence instructions per epoch, unordered_map (%s scale)", sc.Name),
+		Header: []string{"system", "Insert-only", "Balanced", "Read-heavy"},
+	}
+	mixes := []workload.Mix{workload.InsertOnly, workload.Balanced, workload.ReadHeavy}
+	for _, sys := range []string{"Undo-log", "LMC", "libcrpm-Default"} {
+		row := []string{sys}
+		for _, mix := range mixes {
+			s, err := NewDSSetup(sys, DSHashMap, sc, Geometry{})
+			if err != nil {
+				return t, err
+			}
+			d := s.Driver(sc, 5)
+			if !mix.InsertOnly {
+				if err := d.Populate(sc.Keys); err != nil {
+					return t, err
+				}
+			} else {
+				d.Keys = 1
+				if err := d.Checkpoint(); err != nil {
+					return t, err
+				}
+			}
+			fBefore := s.Dev.Stats().SFences
+			res, err := d.Run(mix, sc.Ops)
+			if err != nil {
+				return t, fmt.Errorf("%s/%s: %w", sys, mix.Name, err)
+			}
+			fences := s.Dev.Stats().SFences - fBefore
+			epochs := res.Epochs
+			if epochs == 0 {
+				epochs = 1
+			}
+			row = append(row, fmtF(float64(fences)/float64(epochs), 1))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9Interval reproduces Figure 9: throughput under the balanced workload
+// as the checkpoint interval varies.
+func Fig9Interval(sc Scale, kind DSKind) (Table, error) {
+	intervals := []time.Duration{
+		1 * time.Millisecond, 4 * time.Millisecond, 16 * time.Millisecond,
+		64 * time.Millisecond, 128 * time.Millisecond,
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Figure 9: %s throughput (Mops/s) vs checkpoint interval, balanced (%s scale)", kind, sc.Name),
+		Header: []string{"system"},
+	}
+	for _, iv := range intervals {
+		t.Header = append(t.Header, iv.String())
+	}
+	systems := []string{"Mprotect", "Soft-dirty bit", "Undo-log", "LMC", "libcrpm-Default", "libcrpm-Buffered"}
+	for _, sys := range systems {
+		row := []string{sys}
+		for _, iv := range intervals {
+			sci := sc
+			sci.Interval = iv
+			s, err := NewDSSetup(sys, kind, sci, Geometry{})
+			if err != nil {
+				return t, err
+			}
+			d := s.Driver(sci, 9)
+			if err := d.Populate(sci.Keys); err != nil {
+				return t, err
+			}
+			res, err := d.Run(workload.Balanced, sci.Ops)
+			if err != nil {
+				return t, fmt.Errorf("%s@%v: %w", sys, iv, err)
+			}
+			row = append(row, fmtF(res.Throughput/1e6, 3))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig10aSegment reproduces Figure 10a: libcrpm-Default unordered_map
+// throughput across segment sizes (block size fixed at 256 B).
+func Fig10aSegment(sc Scale) (Table, error) {
+	segs := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20}
+	t := Table{
+		Title:  fmt.Sprintf("Figure 10a: libcrpm-Default throughput (Mops/s) vs segment size, block 256B (%s scale)", sc.Name),
+		Header: []string{"workload"},
+		Notes:  []string{"the paper sweeps 512B-32MB on a 24M-key heap; the simulator sweeps the same two decades around its scaled heap"},
+	}
+	for _, s := range segs {
+		t.Header = append(t.Header, byteSize(s))
+	}
+	for _, mix := range []workload.Mix{workload.Balanced, workload.ReadHeavy} {
+		row := []string{mix.Name}
+		for _, seg := range segs {
+			s, err := NewDSSetup("libcrpm-Default", DSHashMap, sc, Geometry{SegmentSize: seg, BlockSize: 256})
+			if err != nil {
+				return t, err
+			}
+			d := s.Driver(sc, 10)
+			if err := d.Populate(sc.Keys); err != nil {
+				return t, err
+			}
+			res, err := d.Run(mix, sc.Ops)
+			if err != nil {
+				return t, fmt.Errorf("seg %d: %w", seg, err)
+			}
+			row = append(row, fmtF(res.Throughput/1e6, 3))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig10bBlock reproduces Figure 10b: libcrpm-Default unordered_map
+// throughput across block sizes (segment size fixed at 2 MB when it fits).
+func Fig10bBlock(sc Scale) (Table, error) {
+	blocks := []int{64, 128, 256, 1024, 4096, 16384}
+	seg := 2 << 20
+	if seg > sc.HeapSize/2 {
+		seg = sc.HeapSize / 2
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Figure 10b: libcrpm-Default throughput (Mops/s) vs block size, segment %s (%s scale)", byteSize(seg), sc.Name),
+		Header: []string{"workload"},
+	}
+	for _, b := range blocks {
+		t.Header = append(t.Header, byteSize(b))
+	}
+	for _, mix := range []workload.Mix{workload.Balanced, workload.ReadHeavy} {
+		row := []string{mix.Name}
+		for _, blk := range blocks {
+			s, err := NewDSSetup("libcrpm-Default", DSHashMap, sc, Geometry{SegmentSize: seg, BlockSize: blk})
+			if err != nil {
+				return t, err
+			}
+			d := s.Driver(sc, 11)
+			if err := d.Populate(sc.Keys); err != nil {
+				return t, err
+			}
+			res, err := d.Run(mix, sc.Ops)
+			if err != nil {
+				return t, fmt.Errorf("block %d: %w", blk, err)
+			}
+			row = append(row, fmtF(res.Throughput/1e6, 3))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func byteSize(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

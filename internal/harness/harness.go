@@ -1,0 +1,312 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated NVM substrate: the Figure 1 breakdown,
+// the Figure 7/9/10 throughput studies, Table 1's checkpoint-size and fence
+// counts, the Figure 8 parallel-application overheads, and the §5.5/§5.6
+// recovery-time and storage-cost reports. Each experiment returns a Table
+// that prints the same rows or series the paper reports; absolute values are
+// simulator units, shapes are comparable.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"libcrpm/internal/alloc"
+	"libcrpm/internal/baselines/dali"
+	"libcrpm/internal/baselines/fti"
+	"libcrpm/internal/baselines/lmc"
+	"libcrpm/internal/baselines/mprotect"
+	"libcrpm/internal/baselines/nvmnp"
+	"libcrpm/internal/baselines/softdirty"
+	"libcrpm/internal/baselines/undolog"
+	"libcrpm/internal/ckpt"
+	"libcrpm/internal/core"
+	"libcrpm/internal/heap"
+	"libcrpm/internal/nvm"
+	"libcrpm/internal/pds"
+	"libcrpm/internal/region"
+	"libcrpm/internal/workload"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// CSV renders the table as RFC-4180-ish comma-separated values (one header
+// row, then data rows; notes become trailing comment lines).
+func (t Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Scale sizes the experiments. The paper runs 24M keys / 5M ops / 128 ms
+// epochs on Optane hardware; the simulator defaults are laptop-sized with
+// the same structure (EXPERIMENTS.md records the mapping).
+type Scale struct {
+	Name string
+	// Data-structure experiments.
+	Keys     uint64
+	Ops      int
+	HeapSize int
+	Buckets  int
+	Interval time.Duration
+	// Parallel-application experiments.
+	Ranks     int
+	AppItersS int // iterations, small dataset
+	AppItersL int // iterations, large dataset
+	EdgeSmall int // LULESH edge / HPCCG xy / CoMD cells, small dataset
+	EdgeLarge int
+	CkptEvery int
+	AppHeap   int
+}
+
+// SmallScale finishes in seconds; used by tests and the default benches.
+func SmallScale() Scale {
+	return Scale{
+		Name:     "small",
+		Keys:     100_000,
+		Ops:      120_000,
+		HeapSize: 16 << 20,
+		Buckets:  1 << 17,
+		Interval: 2 * time.Millisecond,
+		Ranks:    4, AppItersS: 10, AppItersL: 10,
+		EdgeSmall: 8, EdgeLarge: 12, CkptEvery: 5,
+		AppHeap: 8 << 20,
+	}
+}
+
+// PaperScale mirrors the paper's experimental parameters exactly: 24 M
+// keys, 5 M operations, 128 ms epochs, 8 processes, 90³/110³ LULESH meshes.
+// It needs on the order of 10 GB of RAM (the simulated device holds two
+// copies of a multi-GB heap) and hours of wall time; use it to verify scale
+// trends, not for routine runs.
+func PaperScale() Scale {
+	return Scale{
+		Name:     "paper",
+		Keys:     24_000_000,
+		Ops:      5_000_000,
+		HeapSize: 2 << 30,
+		Buckets:  1 << 25,
+		Interval: 128 * time.Millisecond,
+		Ranks:    8, AppItersS: 50, AppItersL: 50,
+		EdgeSmall: 90, EdgeLarge: 110, CkptEvery: 5,
+		AppHeap: 64 << 20,
+	}
+}
+
+// MediumScale is the default for the CLI harness: minutes, clearer
+// separation between systems.
+func MediumScale() Scale {
+	return Scale{
+		Name:     "medium",
+		Keys:     500_000,
+		Ops:      600_000,
+		HeapSize: 64 << 20,
+		Buckets:  1 << 19,
+		Interval: 8 * time.Millisecond,
+		Ranks:    8, AppItersS: 20, AppItersL: 20,
+		EdgeSmall: 12, EdgeLarge: 18, CkptEvery: 5,
+		AppHeap: 16 << 20,
+	}
+}
+
+// DSKind selects the data structure under test.
+type DSKind string
+
+// The two structures of §5.2.1.
+const (
+	DSHashMap DSKind = "unordered_map"
+	DSRBMap   DSKind = "map"
+)
+
+// DSSystems lists the systems of Figure 7 in the paper's order. Dalí exists
+// only for the hash map.
+func DSSystems(kind DSKind) []string {
+	s := []string{"Mprotect", "Soft-dirty bit", "Undo-log", "LMC"}
+	if kind == DSHashMap {
+		s = append(s, "Dali")
+	}
+	return append(s, "NVM-NP", "libcrpm-Default", "libcrpm-Buffered")
+}
+
+// DSSetup is one system+structure instance ready to drive.
+type DSSetup struct {
+	System string
+	KV     pds.KV
+	Dev    *nvm.Device
+	// Checkpoint ends an epoch on this system.
+	Checkpoint func() error
+	// Backend is nil for Dalí (its persistence is inside the structure).
+	Backend ckpt.Backend
+	// Container is non-nil for the libcrpm systems.
+	Container *core.Container
+}
+
+// Geometry overrides for the Figure 10 sweeps; zero values use defaults.
+type Geometry struct {
+	SegmentSize int
+	BlockSize   int
+}
+
+// NewDSSetup builds a system+structure instance.
+func NewDSSetup(system string, kind DSKind, sc Scale, geo Geometry) (*DSSetup, error) {
+	if system == "Dali" {
+		if kind != DSHashMap {
+			return nil, fmt.Errorf("harness: Dalí implements only the hash map")
+		}
+		m, err := dali.New(dali.Config{Buckets: sc.Buckets, Capacity: int(sc.Keys)*2 + sc.Ops})
+		if err != nil {
+			return nil, err
+		}
+		return &DSSetup{System: system, KV: m, Dev: m.Device(), Checkpoint: m.EpochPersist}, nil
+	}
+	var b ckpt.Backend
+	var ctr *core.Container
+	var err error
+	switch system {
+	case "Mprotect":
+		b, err = mprotect.New(sc.HeapSize)
+	case "Soft-dirty bit":
+		b, err = softdirty.New(sc.HeapSize)
+	case "Undo-log":
+		b, err = undolog.New(sc.HeapSize)
+	case "LMC":
+		b, err = lmc.New(sc.HeapSize)
+	case "NVM-NP":
+		b = nvmnp.New(sc.HeapSize)
+	case "FTI":
+		b, err = fti.New(fti.Config{HeapSize: sc.HeapSize})
+	case "libcrpm-Default", "libcrpm-Buffered":
+		mode := core.ModeDefault
+		if system == "libcrpm-Buffered" {
+			mode = core.ModeBuffered
+		}
+		reg := region.Config{
+			HeapSize:    sc.HeapSize,
+			SegmentSize: geo.SegmentSize,
+			BlockSize:   geo.BlockSize,
+			BackupRatio: 1,
+		}
+		var l *region.Layout
+		l, err = region.NewLayout(reg)
+		if err != nil {
+			return nil, err
+		}
+		dev := nvm.NewDevice(l.DeviceSize())
+		ctr, err = core.NewContainer(dev, core.Options{Region: reg, Mode: mode})
+		b = ctr
+	default:
+		return nil, fmt.Errorf("harness: unknown system %q", system)
+	}
+	if err != nil {
+		return nil, err
+	}
+	a, err := alloc.Format(heap.New(b))
+	if err != nil {
+		return nil, err
+	}
+	var kv pds.KV
+	switch kind {
+	case DSHashMap:
+		kv, err = pds.NewHashMap(a, sc.Buckets)
+	case DSRBMap:
+		kv, err = pds.NewRBMap(a)
+	default:
+		return nil, fmt.Errorf("harness: unknown structure %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &DSSetup{
+		System:     system,
+		KV:         kv,
+		Dev:        b.Device(),
+		Checkpoint: b.Checkpoint,
+		Backend:    b,
+		Container:  ctr,
+	}, nil
+}
+
+// Driver wires a setup to the workload generator.
+func (s *DSSetup) Driver(sc Scale, seed int64) *workload.Driver {
+	return &workload.Driver{
+		KV:         s.KV,
+		Clock:      s.Dev.Clock(),
+		Checkpoint: s.Checkpoint,
+		Interval:   sc.Interval,
+		Zipf:       workload.NewZipfian(sc.Keys, 0.99),
+		Rng:        newRng(seed),
+	}
+}
+
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+func fmtDur(d time.Duration) string { return d.Round(time.Microsecond).String() }

@@ -1,0 +1,206 @@
+// Package mpi provides an in-process rank runtime standing in for MPI in
+// the paper's parallel-application experiments (§3.6, §5.2.2): each rank is
+// a goroutine with its own NVM device and container; the package supplies
+// barriers, allreduce, point-to-point mailboxes, and the coordinated
+// checkpoint/recovery protocol libcrpm layers over MPI_Barrier.
+//
+// Simulated clocks are aligned at barriers — ranks wait for the slowest, as
+// on a real machine — so end-to-end simulated times include synchronization
+// slack.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"libcrpm/internal/nvm"
+)
+
+// World is a set of ranks executing one program.
+type World struct {
+	size int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     uint64
+
+	clocks []*nvm.Clock
+
+	redU64 []uint64
+	redF64 []float64
+
+	mail [][]chan []float64
+}
+
+// NewWorld creates a world of n ranks.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic("mpi: world size must be at least 1")
+	}
+	w := &World{
+		size:   n,
+		clocks: make([]*nvm.Clock, n),
+		redU64: make([]uint64, n),
+		redF64: make([]float64, n),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.mail = make([][]chan []float64, n)
+	for i := range w.mail {
+		w.mail[i] = make([]chan []float64, n)
+		for j := range w.mail[i] {
+			w.mail[i][j] = make(chan []float64, 4)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn on every rank concurrently and waits for all to finish.
+// A panic on any rank is re-raised on the caller after the others complete
+// or park.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() { panics[rank] = recover() }()
+			fn(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		}
+	}
+}
+
+// Comm is one rank's communicator handle.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// AttachClock registers this rank's simulated clock; barriers then align
+// clocks to the slowest rank.
+func (c *Comm) AttachClock(clk *nvm.Clock) { c.w.clocks[c.rank] = clk }
+
+// Barrier blocks until every rank arrives, then aligns attached clocks.
+func (c *Comm) Barrier() {
+	w := c.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	gen := w.gen
+	w.arrived++
+	if w.arrived == w.size {
+		// Align simulated time: everyone waited for the slowest.
+		var max int64
+		for _, clk := range w.clocks {
+			if clk != nil && clk.NowPS() > max {
+				max = clk.NowPS()
+			}
+		}
+		for _, clk := range w.clocks {
+			if clk != nil && clk.NowPS() < max {
+				clk.Advance(max - clk.NowPS())
+			}
+		}
+		w.arrived = 0
+		w.gen++
+		w.cond.Broadcast()
+		return
+	}
+	for w.gen == gen {
+		w.cond.Wait()
+	}
+}
+
+// Op selects a reduction.
+type Op int
+
+// Reduction operators.
+const (
+	Min Op = iota
+	Max
+	Sum
+)
+
+// AllreduceU64 combines one value per rank and returns the result on all.
+func (c *Comm) AllreduceU64(v uint64, op Op) uint64 {
+	w := c.w
+	w.mu.Lock()
+	w.redU64[c.rank] = v
+	w.mu.Unlock()
+	c.Barrier()
+	out := w.redU64[0]
+	for _, x := range w.redU64[1:] {
+		switch op {
+		case Min:
+			if x < out {
+				out = x
+			}
+		case Max:
+			if x > out {
+				out = x
+			}
+		case Sum:
+			out += x
+		}
+	}
+	c.Barrier() // everyone has read before the buffer is reused
+	return out
+}
+
+// AllreduceF64 combines one float per rank and returns the result on all.
+func (c *Comm) AllreduceF64(v float64, op Op) float64 {
+	w := c.w
+	w.mu.Lock()
+	w.redF64[c.rank] = v
+	w.mu.Unlock()
+	c.Barrier()
+	out := w.redF64[0]
+	for _, x := range w.redF64[1:] {
+		switch op {
+		case Min:
+			if x < out {
+				out = x
+			}
+		case Max:
+			if x > out {
+				out = x
+			}
+		case Sum:
+			out += x
+		}
+	}
+	c.Barrier()
+	return out
+}
+
+// Send posts a message to another rank (buffered; blocks when the mailbox
+// is full). The slice is handed over; the receiver owns it.
+func (c *Comm) Send(to int, data []float64) {
+	c.w.mail[to][c.rank] <- data
+}
+
+// Recv takes the next message from a rank, blocking until one arrives.
+func (c *Comm) Recv(from int) []float64 {
+	return <-c.w.mail[c.rank][from]
+}
+
+// SendRecv exchanges halos with a peer without deadlocking.
+func (c *Comm) SendRecv(peer int, send []float64) []float64 {
+	c.Send(peer, send)
+	return c.Recv(peer)
+}

@@ -1,0 +1,422 @@
+package nvm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"libcrpm/internal/bitmap"
+)
+
+// Device is a simulated NVM DIMM plus the volatile CPU cache in front of it.
+//
+// Two byte arrays model the persistence domain boundary: working is what the
+// CPU observes (cache contents merged over media), media is what survives a
+// crash. Stores update working and mark the containing cache lines dirty;
+// CLWB + SFence (or WBINVD, or spontaneous eviction) move line contents into
+// media. Crash makes every not-yet-guaranteed line independently persist or
+// vanish, which is the adversarial model the paper's failure-atomicity
+// argument must survive.
+type Device struct {
+	size    int
+	media   []byte
+	working []byte
+
+	// dirty marks cache lines written but not yet flushed.
+	dirty *bitmap.Set
+	// pendingUndo holds, for every line flushed (CLWB/NT) since the last
+	// fence, the media content from before its first unfenced overwrite. At
+	// a crash each entry may be rolled back, modelling an in-flight flush
+	// that never reached the media.
+	pendingUndo map[int][]byte
+
+	clock *Clock
+	cost  CostModel
+	stats Stats
+
+	// evictProb, when non-zero, makes each small store spontaneously evict
+	// its line to media with this probability (worst-case cache behaviour
+	// fuzzing for crash-consistency tests).
+	evictProb float64
+	evictRng  *rand.Rand
+
+	// failAfter, when >= 0, counts down on every primitive; reaching zero
+	// panics with InjectedCrash, letting tests place a crash at any point
+	// inside a protocol.
+	failAfter int64
+}
+
+// InjectedCrash is the panic value raised when a FailAfter countdown
+// expires. Tests recover it, call Crash, and reopen the container.
+type InjectedCrash struct{}
+
+// Error implements error.
+func (InjectedCrash) Error() string { return "nvm: injected crash point reached" }
+
+// FailAfter schedules an InjectedCrash panic after n more primitives
+// (stores, loads, flushes, fences). n < 0 disables injection.
+func (d *Device) FailAfter(n int64) { d.failAfter = n }
+
+// tick advances the failure-injection countdown.
+func (d *Device) tick() {
+	if d.failAfter < 0 {
+		return
+	}
+	if d.failAfter == 0 {
+		d.failAfter = -1
+		panic(InjectedCrash{})
+	}
+	d.failAfter--
+}
+
+// Option configures a Device.
+type Option func(*Device)
+
+// WithCostModel overrides the default cost constants.
+func WithCostModel(cm CostModel) Option {
+	return func(d *Device) { d.cost = cm }
+}
+
+// WithClock shares an existing clock (e.g. across the devices of multiple
+// simulated MPI ranks measured together).
+func WithClock(c *Clock) Option {
+	return func(d *Device) { d.clock = c }
+}
+
+// WithEvictionFuzz enables spontaneous line eviction with probability p per
+// store, using the given deterministic source.
+func WithEvictionFuzz(p float64, rng *rand.Rand) Option {
+	return func(d *Device) {
+		d.evictProb = p
+		d.evictRng = rng
+	}
+}
+
+// NewDevice creates a device of the given size in bytes (rounded up to a
+// whole number of cache lines) with zeroed media.
+func NewDevice(size int, opts ...Option) *Device {
+	if size <= 0 {
+		panic("nvm: non-positive device size")
+	}
+	size = (size + LineSize - 1) / LineSize * LineSize
+	d := &Device{
+		size:        size,
+		media:       make([]byte, size),
+		working:     make([]byte, size),
+		dirty:       bitmap.New(size / LineSize),
+		pendingUndo: make(map[int][]byte),
+		clock:       NewClock(),
+		cost:        currentDefaultCostModel(),
+		failAfter:   -1,
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int { return d.size }
+
+// Clock returns the simulated clock driven by this device.
+func (d *Device) Clock() *Clock { return d.clock }
+
+// Cost returns the active cost model.
+func (d *Device) Cost() CostModel { return d.cost }
+
+// Stats returns a snapshot of the event counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Working returns the CPU-visible byte array. Callers may read from it
+// directly (charging load costs themselves where appropriate) but must
+// perform all writes through Store/StoreBulk/NTStore so that dirty-line
+// tracking stays exact.
+func (d *Device) Working() []byte { return d.working }
+
+// MediaSnapshot returns a copy of the durable media contents, for tests that
+// compare pre- and post-crash durable state.
+func (d *Device) MediaSnapshot() []byte {
+	out := make([]byte, d.size)
+	copy(out, d.media)
+	return out
+}
+
+func (d *Device) checkRange(off, n int) {
+	if off < 0 || n < 0 || off+n > d.size {
+		panic(fmt.Sprintf("nvm: access [%d,%d) outside device of %d bytes", off, off+n, d.size))
+	}
+}
+
+func (d *Device) markDirty(off, n int) {
+	first, last := off/LineSize, (off+n-1)/LineSize
+	for l := first; l <= last; l++ {
+		d.dirty.Set(l)
+	}
+	if d.evictProb > 0 && d.evictRng.Float64() < d.evictProb {
+		d.evictLine(first)
+	}
+}
+
+// evictLine spontaneously writes one dirty line back to media, as a real
+// cache may do at any moment.
+func (d *Device) evictLine(l int) {
+	if !d.dirty.Test(l) {
+		return
+	}
+	base := l * LineSize
+	copy(d.media[base:base+LineSize], d.working[base:base+LineSize])
+	d.dirty.Clear(l)
+	d.stats.EvictedLines++
+	d.stats.FlushedLines++
+	d.stats.MediaWriteBytes += MediaGranularity
+}
+
+// Store writes a small value (typically <= 8 bytes) through the cache.
+func (d *Device) Store(off int, src []byte) {
+	d.tick()
+	d.checkRange(off, len(src))
+	copy(d.working[off:], src)
+	d.markDirty(off, len(src))
+	d.stats.Stores++
+	d.clock.Advance(d.cost.StorePS)
+}
+
+// StoreBulk writes a larger buffer through the cache, charged at DRAM-copy
+// bandwidth (the data lands in cache, not yet in media).
+func (d *Device) StoreBulk(off int, src []byte) {
+	d.tick()
+	if len(src) == 0 {
+		return
+	}
+	d.checkRange(off, len(src))
+	copy(d.working[off:], src)
+	d.markDirty(off, len(src))
+	d.stats.Stores++
+	d.clock.Advance(int64(len(src)) * d.cost.DRAMBytePS)
+}
+
+// Load reads a small value, charging one load.
+func (d *Device) Load(off int, dst []byte) {
+	d.tick()
+	d.checkRange(off, len(dst))
+	copy(dst, d.working[off:])
+	d.stats.Loads++
+	d.clock.Advance(d.cost.LoadPS)
+}
+
+// NTStore performs a non-temporal (cache-bypassing) write: working and media
+// are both updated, but durability is only guaranteed after the next SFence.
+// Lines fully covered by the write leave the cache-dirty set. Charged at NVM
+// write bandwidth; this models the AVX-512 non-temporal copy path the paper
+// uses for segment and block copies.
+func (d *Device) NTStore(off int, src []byte) {
+	d.tick()
+	n := len(src)
+	if n == 0 {
+		return
+	}
+	d.checkRange(off, n)
+	first, last := off/LineSize, (off+n-1)/LineSize
+	for l := first; l <= last; l++ {
+		if _, ok := d.pendingUndo[l]; !ok {
+			old := make([]byte, LineSize)
+			copy(old, d.media[l*LineSize:(l+1)*LineSize])
+			d.pendingUndo[l] = old
+		}
+		// A line fully inside the write no longer has newer cached data.
+		if l*LineSize >= off && (l+1)*LineSize <= off+n {
+			d.dirty.Clear(l)
+		}
+	}
+	copy(d.working[off:], src)
+	copy(d.media[off:], src)
+	d.stats.NTStoreBytes += int64(n)
+	// Write-combining fills whole lines: a small NT store still moves a
+	// full cache line to the media.
+	chargeBytes := int64(last-first+1) * LineSize
+	d.clock.Advance(chargeBytes * d.cost.NVMWriteBytePS)
+}
+
+// CLWB writes the cache line containing off back to media. The write is not
+// crash-guaranteed until the next SFence. Flushing a clean line costs a
+// fraction of a dirty flush and moves no data.
+func (d *Device) CLWB(off int) {
+	d.tick()
+	d.checkRange(off, 1)
+	l := off / LineSize
+	d.stats.CLWBs++
+	if !d.dirty.Test(l) {
+		d.clock.Advance(d.cost.CLWBPS / 10)
+		return
+	}
+	if _, ok := d.pendingUndo[l]; !ok {
+		old := make([]byte, LineSize)
+		copy(old, d.media[l*LineSize:(l+1)*LineSize])
+		d.pendingUndo[l] = old
+	}
+	base := l * LineSize
+	copy(d.media[base:base+LineSize], d.working[base:base+LineSize])
+	d.dirty.Clear(l)
+	d.stats.FlushedLines++
+	d.clock.Advance(d.cost.CLWBPS)
+}
+
+// FlushRange issues CLWB for every cache line overlapping [off, off+n).
+func (d *Device) FlushRange(off, n int) {
+	if n <= 0 {
+		return
+	}
+	d.checkRange(off, n)
+	first, last := off/LineSize, (off+n-1)/LineSize
+	for l := first; l <= last; l++ {
+		d.CLWB(l * LineSize)
+	}
+}
+
+// SFence makes every pending (CLWB'd or NT-stored) line durable. Media write
+// accounting happens here at 256-byte granularity: adjacent lines flushed in
+// the same fence epoch coalesce into one media write.
+func (d *Device) SFence() {
+	d.tick()
+	d.stats.SFences++
+	d.clock.Advance(d.cost.SFencePS + int64(len(d.pendingUndo))*d.cost.SFenceLinePS)
+	d.accountPending(nil)
+}
+
+// accountPending counts media writes for pending lines and clears the
+// pending set. If skip is non-nil, lines in skip were rolled back at a crash
+// and are not counted.
+func (d *Device) accountPending(skip map[int]bool) {
+	if len(d.pendingUndo) == 0 {
+		return
+	}
+	chunks := make(map[int]bool, len(d.pendingUndo))
+	for l := range d.pendingUndo {
+		if skip != nil && skip[l] {
+			continue
+		}
+		chunks[l*LineSize/MediaGranularity] = true
+	}
+	d.stats.MediaWriteBytes += int64(len(chunks)) * MediaGranularity
+	d.pendingUndo = make(map[int][]byte)
+}
+
+// WBINVD writes back and invalidates the entire cache: every dirty line and
+// every pending line becomes durable immediately. This is the bulk-flush
+// path the checkpoint protocol chooses when the dirty set exceeds the LLC
+// size (§3.4.2).
+func (d *Device) WBINVD() {
+	d.tick()
+	d.stats.WBINVDs++
+	nDirty := d.dirty.Count()
+	d.clock.Advance(d.cost.WBINVDPS + int64(nDirty)*d.cost.CLWBPS/2)
+	chunks := make(map[int]bool)
+	d.dirty.ForEach(func(l int) {
+		base := l * LineSize
+		copy(d.media[base:base+LineSize], d.working[base:base+LineSize])
+		chunks[base/MediaGranularity] = true
+	})
+	d.stats.FlushedLines += int64(nDirty)
+	d.dirty.ClearAll()
+	for l := range d.pendingUndo {
+		chunks[l*LineSize/MediaGranularity] = true
+	}
+	d.pendingUndo = make(map[int][]byte)
+	d.stats.MediaWriteBytes += int64(len(chunks)) * MediaGranularity
+}
+
+// DirtyLineCount returns the number of cache lines currently dirty.
+func (d *Device) DirtyLineCount() int { return d.dirty.Count() }
+
+// Crash simulates a power failure: every line that is dirty or pending is
+// independently either persisted to media or dropped, decided by rng. The
+// cache is then lost and the CPU view re-reads media. Returns the number of
+// unguaranteed lines that happened to persist.
+func (d *Device) Crash(rng *rand.Rand) int {
+	persisted := 0
+	// In-flight flushes: roll back the losers to their pre-flush media
+	// content.
+	skip := make(map[int]bool)
+	for l, old := range d.pendingUndo {
+		if rng.Intn(2) == 0 {
+			base := l * LineSize
+			copy(d.media[base:base+LineSize], old)
+			skip[l] = true
+		} else {
+			persisted++
+		}
+	}
+	d.accountPending(skip)
+	// Dirty lines: random subset evicts to media.
+	d.dirty.ForEach(func(l int) {
+		if rng.Intn(2) == 0 {
+			base := l * LineSize
+			copy(d.media[base:base+LineSize], d.working[base:base+LineSize])
+			d.stats.MediaWriteBytes += MediaGranularity
+			d.stats.EvictedLines++
+			persisted++
+		}
+	})
+	d.dirty.ClearAll()
+	copy(d.working, d.media)
+	return persisted
+}
+
+// CrashDropAll simulates the crash in which nothing unguaranteed persisted.
+func (d *Device) CrashDropAll() {
+	for l, old := range d.pendingUndo {
+		base := l * LineSize
+		copy(d.media[base:base+LineSize], old)
+	}
+	d.pendingUndo = make(map[int][]byte)
+	d.dirty.ClearAll()
+	copy(d.working, d.media)
+}
+
+// CrashPersistAll simulates the crash in which every written line persisted.
+func (d *Device) CrashPersistAll() {
+	d.accountPending(nil)
+	d.dirty.ForEach(func(l int) {
+		base := l * LineSize
+		copy(d.media[base:base+LineSize], d.working[base:base+LineSize])
+		d.stats.MediaWriteBytes += MediaGranularity
+	})
+	d.dirty.ClearAll()
+	copy(d.working, d.media)
+}
+
+// ChargeHook charges one instrumented write-hook invocation to the clock.
+func (d *Device) ChargeHook() { d.clock.Advance(d.cost.HookPS) }
+
+// ChargeLoad charges one small load without moving data (for callers that
+// read Working() directly).
+func (d *Device) ChargeLoad() {
+	d.stats.Loads++
+	d.clock.Advance(d.cost.LoadPS)
+}
+
+// ChargeNVMLoad charges one small load from NVM-resident memory.
+func (d *Device) ChargeNVMLoad() {
+	d.stats.Loads++
+	d.clock.Advance(d.cost.NVMLoadPS)
+}
+
+// ChargePageFault charges one simulated page-protection fault.
+func (d *Device) ChargePageFault() {
+	d.stats.PageFaults++
+	d.clock.Advance(d.cost.PageFaultPS)
+}
+
+// ChargeDRAMCopy charges a DRAM-to-DRAM copy of n bytes.
+func (d *Device) ChargeDRAMCopy(n int) {
+	d.clock.Advance(int64(n) * d.cost.DRAMBytePS)
+}
+
+// ChargeNVMRead charges a bulk read of n bytes from NVM media.
+func (d *Device) ChargeNVMRead(n int) {
+	d.clock.Advance(int64(n) * d.cost.NVMReadBytePS)
+}
+
+// ChargeHash charges checksum computation over n bytes.
+func (d *Device) ChargeHash(n int) {
+	d.clock.Advance(int64(n) * d.cost.HashBytePS)
+}

@@ -1,0 +1,25 @@
+// Package nvm provides a simulated byte-addressable non-volatile memory
+// device with an explicit volatile cache model, suitable for reproducing
+// persistent-memory checkpointing protocols without Optane hardware.
+//
+// The device exposes the x86-TSO persistency contract used by the libcrpm
+// paper (DAC 2022):
+//
+//   - Stores land in a volatile cache; they reach durable media only after
+//     an explicit CLWB (cache-line write back) followed by an SFence, after
+//     a WBINVD, or through spontaneous cache eviction, which may happen at
+//     any time.
+//   - Non-temporal stores (NTStore) bypass the cache but are weakly ordered:
+//     they are guaranteed durable only after the next SFence.
+//   - Crash discards the volatile cache. Every line that was written but not
+//     yet fence-guaranteed is independently either persisted or dropped,
+//     modelling arbitrary eviction and in-flight flush order.
+//
+// Every primitive advances a deterministic simulated clock whose cost
+// constants are calibrated against published DCPMM latencies. Time is
+// attributed to a category (execution, memory trace, checkpoint, recovery)
+// so experiment harnesses can reproduce the paper's execution-time
+// breakdowns. The device also keeps device-level statistics: sfence counts,
+// media bytes written at 256-byte granularity (DCPMM internal write
+// amplification), page-fault charges, and more.
+package nvm

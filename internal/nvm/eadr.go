@@ -1,0 +1,43 @@
+package nvm
+
+import "sync"
+
+// EADRCostModel returns the cost constants for a platform with extended
+// ADR (paper footnote 2): the CPU cache is inside the persistence domain,
+// so clwb becomes unnecessary — flushes and fences cost almost nothing.
+// Crash *semantics* in this simulator are unchanged (lines still need a
+// flush+fence to be modelled durable), so protocols remain correct; only
+// the performance question "what happens to the fence problem (P2) under
+// eADR" is answered, which is what the ablation studies.
+func EADRCostModel() CostModel {
+	cm := DefaultCostModel()
+	cm.CLWBPS = 500         // effectively a no-op instruction
+	cm.SFencePS = 10_000    // ordering only, no WPQ drain
+	cm.SFenceLinePS = 0     // nothing to drain
+	cm.WBINVDPS = 1_000_000 // 1 µs: no write-back traffic to wait for
+	return cm
+}
+
+var (
+	defaultCostMu sync.Mutex
+	defaultCost   = DefaultCostModel()
+)
+
+// SetDefaultCostModel overrides the cost model used by subsequently created
+// devices and returns the previous default. Experiment harnesses use it to
+// run whole system stacks (which construct their own devices internally)
+// under an alternative platform model such as eADR; restore the previous
+// value when done.
+func SetDefaultCostModel(cm CostModel) CostModel {
+	defaultCostMu.Lock()
+	defer defaultCostMu.Unlock()
+	prev := defaultCost
+	defaultCost = cm
+	return prev
+}
+
+func currentDefaultCostModel() CostModel {
+	defaultCostMu.Lock()
+	defer defaultCostMu.Unlock()
+	return defaultCost
+}

@@ -1,0 +1,72 @@
+package nvm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMediaRoundTrip(t *testing.T) {
+	d := NewDevice(4096)
+	d.Store(100, []byte{1, 2, 3})
+	d.FlushRange(100, 3)
+	d.SFence()
+	d.Store(200, []byte{9}) // unflushed: must NOT survive the image
+
+	var buf bytes.Buffer
+	if err := d.WriteMediaTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDeviceFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Size() != 4096 {
+		t.Fatalf("size = %d", d2.Size())
+	}
+	if !bytes.Equal(d2.Working()[100:103], []byte{1, 2, 3}) {
+		t.Fatal("fenced data lost in image")
+	}
+	if d2.Working()[200] != 0 {
+		t.Fatal("unflushed cache line leaked into the image")
+	}
+}
+
+func TestReadDeviceRejectsGarbage(t *testing.T) {
+	if _, err := ReadDeviceFrom(strings.NewReader("not an image at all")); err == nil {
+		t.Fatal("garbage image accepted")
+	}
+	if _, err := ReadDeviceFrom(strings.NewReader("")); err == nil {
+		t.Fatal("empty image accepted")
+	}
+}
+
+func TestReadDeviceTruncated(t *testing.T) {
+	d := NewDevice(4096)
+	var buf bytes.Buffer
+	if err := d.WriteMediaTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadDeviceFrom(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}
+
+func TestEADRCostModel(t *testing.T) {
+	cm := EADRCostModel()
+	def := DefaultCostModel()
+	if cm.CLWBPS >= def.CLWBPS || cm.SFencePS >= def.SFencePS {
+		t.Fatal("eADR model is not cheaper than the default")
+	}
+	prev := SetDefaultCostModel(cm)
+	d := NewDevice(4096)
+	if d.Cost().CLWBPS != cm.CLWBPS {
+		t.Fatal("device did not pick up the overridden default")
+	}
+	SetDefaultCostModel(prev)
+	d2 := NewDevice(4096)
+	if d2.Cost().CLWBPS != prev.CLWBPS {
+		t.Fatal("default not restored")
+	}
+}

@@ -1,0 +1,55 @@
+package nvm
+
+import "fmt"
+
+// Stats aggregates device-level event counters. Backends snapshot it around
+// an epoch to report per-epoch figures such as the number of sfence
+// instructions (Table 1b).
+type Stats struct {
+	// Stores counts small cached stores.
+	Stores int64
+	// Loads counts small cached loads.
+	Loads int64
+	// CLWBs counts cache-line write-back instructions.
+	CLWBs int64
+	// SFences counts store fences.
+	SFences int64
+	// WBINVDs counts whole-cache write-back-and-invalidate instructions.
+	WBINVDs int64
+	// PageFaults counts simulated page-protection faults.
+	PageFaults int64
+	// NTStoreBytes counts bytes written with non-temporal stores.
+	NTStoreBytes int64
+	// FlushedLines counts cache lines made durable via CLWB/WBINVD/eviction.
+	FlushedLines int64
+	// MediaWriteBytes counts bytes written to NVM media at 256-byte
+	// granularity; this is the device-level write amplification meter.
+	MediaWriteBytes int64
+	// EvictedLines counts lines persisted by spontaneous cache eviction.
+	EvictedLines int64
+}
+
+// Sub returns the element-wise difference s - o, used to compute per-epoch
+// deltas from two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Stores:          s.Stores - o.Stores,
+		Loads:           s.Loads - o.Loads,
+		CLWBs:           s.CLWBs - o.CLWBs,
+		SFences:         s.SFences - o.SFences,
+		WBINVDs:         s.WBINVDs - o.WBINVDs,
+		PageFaults:      s.PageFaults - o.PageFaults,
+		NTStoreBytes:    s.NTStoreBytes - o.NTStoreBytes,
+		FlushedLines:    s.FlushedLines - o.FlushedLines,
+		MediaWriteBytes: s.MediaWriteBytes - o.MediaWriteBytes,
+		EvictedLines:    s.EvictedLines - o.EvictedLines,
+	}
+}
+
+// String formats the counters for logs and test failures.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"stats{stores=%d loads=%d clwb=%d sfence=%d wbinvd=%d faults=%d nt=%dB flushed=%d media=%dB evicted=%d}",
+		s.Stores, s.Loads, s.CLWBs, s.SFences, s.WBINVDs, s.PageFaults,
+		s.NTStoreBytes, s.FlushedLines, s.MediaWriteBytes, s.EvictedLines)
+}

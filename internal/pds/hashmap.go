@@ -1,0 +1,207 @@
+package pds
+
+import (
+	"errors"
+	"fmt"
+
+	"libcrpm/internal/alloc"
+	"libcrpm/internal/heap"
+)
+
+// HashMap is a persistent open-chaining hash table (the paper's
+// unordered_map). When the load factor exceeds maxLoadFactor the bucket
+// array grows and all nodes rehash — in the paper's benchmarks the initial
+// bucket count is sized so this never triggers, matching its no-resize
+// setup, but a production library must handle unbounded growth.
+type HashMap struct {
+	h    *heap.Heap
+	a    *alloc.Allocator
+	head int // header allocation offset
+}
+
+// maxLoadFactor triggers a resize when size/buckets exceeds it.
+const maxLoadFactor = 4
+
+// Hash map header fields (relative to head).
+const (
+	hmNBuckets = 0
+	hmSize     = 8
+	hmBuckets  = 16 // offset of the bucket array allocation
+	hmHeaderSz = 24
+)
+
+// Hash node fields.
+const (
+	hnKey  = 0
+	hnVal  = 8
+	hnNext = 16
+	hnSize = 24
+)
+
+// NewHashMap allocates a hash map with the given bucket count and returns
+// it. Persist the returned Root in an allocator root slot to find the map
+// again after recovery.
+func NewHashMap(a *alloc.Allocator, buckets int) (*HashMap, error) {
+	if buckets <= 0 {
+		return nil, errors.New("pds: bucket count must be positive")
+	}
+	head, err := a.Alloc(hmHeaderSz)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := a.AllocZero(8 * buckets)
+	if err != nil {
+		return nil, err
+	}
+	h := a.Heap()
+	h.WriteU64(head+hmNBuckets, uint64(buckets))
+	h.WriteU64(head+hmSize, 0)
+	h.WriteU64(head+hmBuckets, uint64(arr))
+	return &HashMap{h: h, a: a, head: head}, nil
+}
+
+// OpenHashMap attaches to an existing map by its root offset.
+func OpenHashMap(a *alloc.Allocator, root int) (*HashMap, error) {
+	if root <= 0 || root >= a.Heap().Size() {
+		return nil, fmt.Errorf("pds: invalid hash map root %d", root)
+	}
+	return &HashMap{h: a.Heap(), a: a, head: root}, nil
+}
+
+// Root returns the offset to store in a root slot.
+func (m *HashMap) Root() int { return m.head }
+
+// Len implements KV.
+func (m *HashMap) Len() int { return int(m.h.ReadU64(m.head + hmSize)) }
+
+func (m *HashMap) bucketOff(key uint64) int {
+	n := m.h.ReadU64(m.head + hmNBuckets)
+	arr := int(m.h.ReadU64(m.head + hmBuckets))
+	return arr + 8*int(mix64(key)%n)
+}
+
+// mix64 is a Murmur3-style finalizer giving uniform bucket spread.
+func mix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Get implements KV.
+func (m *HashMap) Get(key uint64) (uint64, bool) {
+	n := m.h.ReadU64(m.bucketOff(key))
+	for n != 0 {
+		node := int(n)
+		if m.h.ReadU64(node+hnKey) == key {
+			return m.h.ReadU64(node + hnVal), true
+		}
+		n = m.h.ReadU64(node + hnNext)
+	}
+	return 0, false
+}
+
+// Put implements KV: insert or update.
+func (m *HashMap) Put(key, value uint64) error {
+	nb := m.h.ReadU64(m.head + hmNBuckets)
+	arr := int(m.h.ReadU64(m.head + hmBuckets))
+	boff := arr + 8*int(mix64(key)%nb)
+	n := m.h.ReadU64(boff)
+	for p := n; p != 0; {
+		node := int(p)
+		if m.h.ReadU64(node+hnKey) == key {
+			m.h.WriteU64(node+hnVal, value)
+			return nil
+		}
+		p = m.h.ReadU64(node + hnNext)
+	}
+	node, err := m.a.Alloc(hnSize)
+	if err != nil {
+		return err
+	}
+	m.h.WriteU64(node+hnKey, key)
+	m.h.WriteU64(node+hnVal, value)
+	m.h.WriteU64(node+hnNext, n)
+	m.h.WriteU64(boff, uint64(node))
+	size := m.h.ReadU64(m.head+hmSize) + 1
+	m.h.WriteU64(m.head+hmSize, size)
+	if size > maxLoadFactor*nb {
+		return m.grow()
+	}
+	return nil
+}
+
+// grow doubles the bucket array twice over (4x) and rehashes every node.
+// Like every other mutation it happens inside the current epoch: a crash
+// before the next checkpoint rolls the whole resize back atomically.
+func (m *HashMap) grow() error {
+	oldN := int(m.h.ReadU64(m.head + hmNBuckets))
+	oldArr := int(m.h.ReadU64(m.head + hmBuckets))
+	newN := oldN * 4
+	newArr, err := m.a.AllocZero(8 * newN)
+	if err != nil {
+		// Out of memory: keep the current table; chains just stay longer.
+		return nil
+	}
+	for b := 0; b < oldN; b++ {
+		n := m.h.ReadU64(oldArr + 8*b)
+		for n != 0 {
+			node := int(n)
+			next := m.h.ReadU64(node + hnNext)
+			key := m.h.ReadU64(node + hnKey)
+			dst := newArr + 8*int(mix64(key)%uint64(newN))
+			m.h.WriteU64(node+hnNext, m.h.ReadU64(dst))
+			m.h.WriteU64(dst, uint64(node))
+			n = next
+		}
+	}
+	m.h.WriteU64(m.head+hmNBuckets, uint64(newN))
+	m.h.WriteU64(m.head+hmBuckets, uint64(newArr))
+	m.a.Free(oldArr)
+	return nil
+}
+
+// Delete removes a key, returning whether it was present. The node returns
+// to the allocator's free list.
+func (m *HashMap) Delete(key uint64) bool {
+	boff := m.bucketOff(key)
+	prev := 0 // 0 means the bucket head itself
+	n := m.h.ReadU64(boff)
+	for n != 0 {
+		node := int(n)
+		next := m.h.ReadU64(node + hnNext)
+		if m.h.ReadU64(node+hnKey) == key {
+			if prev == 0 {
+				m.h.WriteU64(boff, next)
+			} else {
+				m.h.WriteU64(prev+hnNext, next)
+			}
+			m.a.Free(node)
+			m.h.WriteU64(m.head+hmSize, m.h.ReadU64(m.head+hmSize)-1)
+			return true
+		}
+		prev = node
+		n = next
+	}
+	return false
+}
+
+// ForEach visits every pair in unspecified order; fn returning false stops.
+func (m *HashMap) ForEach(fn func(k, v uint64) bool) {
+	nb := int(m.h.ReadU64(m.head + hmNBuckets))
+	arr := int(m.h.ReadU64(m.head + hmBuckets))
+	for b := 0; b < nb; b++ {
+		n := m.h.ReadU64(arr + 8*b)
+		for n != 0 {
+			node := int(n)
+			if !fn(m.h.ReadU64(node+hnKey), m.h.ReadU64(node+hnVal)) {
+				return
+			}
+			n = m.h.ReadU64(node + hnNext)
+		}
+	}
+}
+
+var _ KV = (*HashMap)(nil)

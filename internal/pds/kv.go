@@ -1,0 +1,23 @@
+// Package pds provides the periodically persistent data structures of the
+// paper's evaluation (§5.2.1): an unordered_map (open-chaining hash table)
+// and a map (red-black tree), both written against the instrumented heap so
+// that a single choice — the checkpoint backend — turns them into
+// recoverable structures under any of the evaluated systems, mirroring the
+// paper's one-line CrpmAllocator swap.
+//
+// All node references are heap offsets (0 is null); the structures are
+// position-independent and recover by re-reading their root offsets from the
+// allocator's root array.
+package pds
+
+// KV is the key-value interface the workload driver runs against. The
+// Dalí baseline implements it natively; HashMap and RBMap implement it over
+// any checkpoint backend.
+type KV interface {
+	// Put inserts or updates a key.
+	Put(key, value uint64) error
+	// Get returns the value for a key.
+	Get(key uint64) (uint64, bool)
+	// Len returns the number of live keys.
+	Len() int
+}

@@ -1,0 +1,693 @@
+package pds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"libcrpm/internal/alloc"
+	"libcrpm/internal/baselines/nvmnp"
+	"libcrpm/internal/core"
+	"libcrpm/internal/heap"
+	"libcrpm/internal/nvm"
+	"libcrpm/internal/region"
+)
+
+func newAlloc(t *testing.T, size int) *alloc.Allocator {
+	t.Helper()
+	a, err := alloc.Format(heap.New(nvmnp.New(size)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+type kvFactory struct {
+	name string
+	make func(t *testing.T) KV
+}
+
+func factories() []kvFactory {
+	return []kvFactory{
+		{"hashmap", func(t *testing.T) KV {
+			m, err := NewHashMap(newAlloc(t, 4<<20), 1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+		{"rbmap", func(t *testing.T) KV {
+			m, err := NewRBMap(newAlloc(t, 4<<20))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+	}
+}
+
+func TestPutGetUpdate(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			m := f.make(t)
+			for k := uint64(0); k < 500; k++ {
+				if err := m.Put(k, k*3); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if m.Len() != 500 {
+				t.Fatalf("Len = %d", m.Len())
+			}
+			for k := uint64(0); k < 500; k++ {
+				if v, ok := m.Get(k); !ok || v != k*3 {
+					t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+				}
+			}
+			if _, ok := m.Get(10_000); ok {
+				t.Fatal("absent key found")
+			}
+			// Updates do not grow the map.
+			for k := uint64(0); k < 500; k++ {
+				if err := m.Put(k, k+1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if m.Len() != 500 {
+				t.Fatalf("Len after updates = %d", m.Len())
+			}
+			if v, _ := m.Get(17); v != 18 {
+				t.Fatalf("update lost: %d", v)
+			}
+		})
+	}
+}
+
+func TestAgainstReferenceMap(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			m := f.make(t)
+			ref := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 5000; i++ {
+				k := uint64(rng.Intn(800))
+				v := rng.Uint64()
+				if err := m.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+				ref[k] = v
+			}
+			if m.Len() != len(ref) {
+				t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+			}
+			for k, v := range ref {
+				if got, ok := m.Get(k); !ok || got != v {
+					t.Fatalf("Get(%d) = %d,%v; want %d", k, got, ok, v)
+				}
+			}
+		})
+	}
+}
+
+func TestHashMapDelete(t *testing.T) {
+	a := newAlloc(t, 4<<20)
+	m, err := NewHashMap(a, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 200; k++ {
+		if err := m.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 200; k += 2 {
+		if !m.Delete(k) {
+			t.Fatalf("Delete(%d) missed", k)
+		}
+	}
+	if m.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for k := uint64(0); k < 200; k++ {
+		_, ok := m.Get(k)
+		if k%2 == 0 && ok {
+			t.Fatalf("deleted key %d found", k)
+		}
+		if k%2 == 1 && !ok {
+			t.Fatalf("kept key %d lost", k)
+		}
+	}
+}
+
+func TestRBMapDeleteAndInvariants(t *testing.T) {
+	a := newAlloc(t, 8<<20)
+	m, err := NewRBMap(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 4000; i++ {
+		k := uint64(rng.Intn(500))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Uint64()
+			if err := m.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		case 2:
+			got := m.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("Delete(%d) = %v, want %v", k, got, want)
+			}
+			delete(ref, k)
+		}
+		if i%500 == 0 {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := m.Get(k); !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v; want %d", k, got, ok, v)
+		}
+	}
+}
+
+func TestRBMapOrderedIteration(t *testing.T) {
+	a := newAlloc(t, 4<<20)
+	m, _ := NewRBMap(a)
+	keys := []uint64{50, 10, 90, 30, 70, 20, 80, 40, 60, 100}
+	for _, k := range keys {
+		if err := m.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	m.ForEach(func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("iteration not ascending: %v", got)
+		}
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("visited %d keys, want %d", len(got), len(keys))
+	}
+	// Early stop.
+	n := 0
+	m.ForEach(func(k, v uint64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestHashMapForEach(t *testing.T) {
+	a := newAlloc(t, 4<<20)
+	m, _ := NewHashMap(a, 32)
+	for k := uint64(0); k < 50; k++ {
+		if err := m.Put(k, k*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := uint64(0)
+	m.ForEach(func(k, v uint64) bool {
+		sum += v
+		return true
+	})
+	if sum != 49*50 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestQuickRBInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a, err := alloc.Format(heap.New(nvmnp.New(4 << 20)))
+		if err != nil {
+			return false
+		}
+		m, err := NewRBMap(a)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			k := uint64(op % 128)
+			if op%5 == 4 {
+				m.Delete(k)
+			} else if err := m.Put(k, uint64(op)); err != nil {
+				return false
+			}
+		}
+		return m.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryThroughCrpmContainer is the headline integration: a hash map
+// and a tree on a libcrpm container survive a crash with exactly the last
+// checkpoint's contents, found again through the root array.
+func TestRecoveryThroughCrpmContainer(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeDefault, core.ModeBuffered} {
+		opts := core.Options{
+			Region: region.Config{HeapSize: 1 << 20, SegmentSize: 64 << 10, BlockSize: 256, BackupRatio: 1},
+			Mode:   mode,
+		}
+		l, err := region.NewLayout(opts.Region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := nvm.NewDevice(l.DeviceSize())
+		c, err := core.NewContainer(dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := alloc.Format(heap.New(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hm, err := NewHashMap(a, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := NewRBMap(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.SetRoot(0, uint64(hm.Root()))
+		a.SetRoot(1, uint64(tr.Root()))
+		for k := uint64(0); k < 300; k++ {
+			if err := hm.Put(k, k+1000); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Put(k, k+2000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		// Uncommitted tail.
+		for k := uint64(300); k < 350; k++ {
+			_ = hm.Put(k, 1)
+			_ = tr.Put(k, 1)
+		}
+		rng := rand.New(rand.NewSource(2))
+		dev.Crash(rng)
+
+		c2, err := core.OpenContainer(dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := alloc.Open(heap.New(c2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hm2, err := OpenHashMap(a2, int(a2.Root(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := OpenRBMap(a2, int(a2.Root(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hm2.Len() != 300 || tr2.Len() != 300 {
+			t.Fatalf("%v: sizes %d/%d, want 300/300", mode, hm2.Len(), tr2.Len())
+		}
+		for k := uint64(0); k < 300; k++ {
+			if v, ok := hm2.Get(k); !ok || v != k+1000 {
+				t.Fatalf("%v: hash Get(%d) = %d,%v", mode, k, v, ok)
+			}
+			if v, ok := tr2.Get(k); !ok || v != k+2000 {
+				t.Fatalf("%v: tree Get(%d) = %d,%v", mode, k, v, ok)
+			}
+		}
+		if _, ok := hm2.Get(320); ok {
+			t.Fatalf("%v: uncommitted insert visible", mode)
+		}
+		if err := tr2.CheckInvariants(); err != nil {
+			t.Fatalf("%v: recovered tree corrupt: %v", mode, err)
+		}
+		// The recovered structures remain fully usable.
+		if err := hm2.Put(777, 42); err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenRejectsBadRoots(t *testing.T) {
+	a := newAlloc(t, 1<<20)
+	if _, err := OpenHashMap(a, 0); err == nil {
+		t.Fatal("OpenHashMap(0) succeeded")
+	}
+	if _, err := OpenRBMap(a, 1<<30); err == nil {
+		t.Fatal("OpenRBMap beyond heap succeeded")
+	}
+}
+
+// TestDeleteSurvivesCrash: deletions committed by a checkpoint stay deleted;
+// deletions after the checkpoint are rolled back (the key reappears), and
+// the allocator free-list state rolls back with them.
+func TestDeleteSurvivesCrash(t *testing.T) {
+	opts := core.Options{
+		Region: region.Config{HeapSize: 256 << 10, SegmentSize: 32 << 10, BlockSize: 256, BackupRatio: 1},
+	}
+	l, err := region.NewLayout(opts.Region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := nvm.NewDevice(l.DeviceSize())
+	c, err := core.NewContainer(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := alloc.Format(heap.New(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := NewHashMap(a, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewRBMap(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetRoot(0, uint64(hm.Root()))
+	a.SetRoot(1, uint64(tr.Root()))
+	for k := uint64(0); k < 100; k++ {
+		if err := hm.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Committed deletions.
+	for k := uint64(0); k < 50; k++ {
+		hm.Delete(k)
+		tr.Delete(k)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted deletions.
+	for k := uint64(50); k < 70; k++ {
+		hm.Delete(k)
+		tr.Delete(k)
+	}
+	rng := rand.New(rand.NewSource(77))
+	dev.Crash(rng)
+	c2, err := core.OpenContainer(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := alloc.Open(heap.New(c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm2, err := OpenHashMap(a2, int(a2.Root(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := OpenRBMap(a2, int(a2.Root(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm2.Len() != 50 || tr2.Len() != 50 {
+		t.Fatalf("sizes %d/%d, want 50/50", hm2.Len(), tr2.Len())
+	}
+	for k := uint64(0); k < 50; k++ {
+		if _, ok := hm2.Get(k); ok {
+			t.Fatalf("committed-deleted key %d resurfaced in hash", k)
+		}
+	}
+	for k := uint64(50); k < 100; k++ {
+		if v, ok := hm2.Get(k); !ok || v != k {
+			t.Fatalf("hash key %d = %d,%v (uncommitted delete must roll back)", k, v, ok)
+		}
+		if v, ok := tr2.Get(k); !ok || v != k {
+			t.Fatalf("tree key %d = %d,%v", k, v, ok)
+		}
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Allocator still consistent: deleting and re-adding works.
+	for k := uint64(50); k < 70; k++ {
+		hm2.Delete(k)
+	}
+	for k := uint64(200); k < 220; k++ {
+		if err := hm2.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashMapChainCollisions forces long bucket chains (2 buckets, many
+// keys) through put/get/delete cycles.
+func TestHashMapChainCollisions(t *testing.T) {
+	a := newAlloc(t, 4<<20)
+	m, err := NewHashMap(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 300; k++ {
+		if err := m.Put(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 300; k += 3 {
+		if !m.Delete(k) {
+			t.Fatalf("Delete(%d) missed", k)
+		}
+	}
+	for k := uint64(0); k < 300; k++ {
+		v, ok := m.Get(k)
+		if k%3 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d found", k)
+			}
+		} else if !ok || v != k*3 {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if m.Len() != 200 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+// newBigHeapBackend is a helper for quick-check tests needing room to grow.
+func newBigHeapBackend() *nvmnp.Backend { return nvmnp.New(8 << 20) }
+
+func TestHashMapAutoResize(t *testing.T) {
+	a := newAlloc(t, 8<<20)
+	m, err := NewHashMap(a, 4) // tiny: must grow under 1000 inserts
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if err := m.Put(k, k*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	// Every key still reachable post-rehash, including after deletes.
+	for k := uint64(0); k < 1000; k++ {
+		if v, ok := m.Get(k); !ok || v != k*7 {
+			t.Fatalf("Get(%d) = %d,%v after resize", k, v, ok)
+		}
+	}
+	for k := uint64(0); k < 500; k++ {
+		if !m.Delete(k) {
+			t.Fatalf("Delete(%d) missed after resize", k)
+		}
+	}
+	if m.Len() != 500 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestHashMapResizeRollsBackOnCrash(t *testing.T) {
+	opts := core.Options{
+		Region: region.Config{HeapSize: 1 << 20, SegmentSize: 64 << 10, BlockSize: 256, BackupRatio: 1},
+	}
+	l, err := region.NewLayout(opts.Region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := nvm.NewDevice(l.DeviceSize())
+	c, err := core.NewContainer(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := alloc.Format(heap.New(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewHashMap(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetRoot(0, uint64(m.Root()))
+	for k := uint64(0); k < 10; k++ {
+		if err := m.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted inserts that trigger at least one resize.
+	for k := uint64(10); k < 300; k++ {
+		if err := m.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.Crash(rand.New(rand.NewSource(6)))
+	c2, err := core.OpenContainer(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := alloc.Open(heap.New(c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := OpenHashMap(a2, int(a2.Root(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 10 {
+		t.Fatalf("Len = %d, want the committed 10 (mid-resize state leaked)", m2.Len())
+	}
+	for k := uint64(0); k < 10; k++ {
+		if v, ok := m2.Get(k); !ok || v != k {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	// And growth works again after recovery.
+	for k := uint64(10); k < 200; k++ {
+		if err := m2.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m2.Len() != 200 {
+		t.Fatalf("post-recovery Len = %d", m2.Len())
+	}
+}
+
+func TestRBMapRangeQueries(t *testing.T) {
+	a := newAlloc(t, 4<<20)
+	m, _ := NewRBMap(a)
+	if _, _, ok := m.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	if _, _, ok := m.Max(); ok {
+		t.Fatal("Max on empty tree returned ok")
+	}
+	for _, k := range []uint64{10, 20, 30, 40, 50} {
+		if err := m.Put(k, k*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k, v, ok := m.Min(); !ok || k != 10 || v != 20 {
+		t.Fatalf("Min = %d,%d,%v", k, v, ok)
+	}
+	if k, v, ok := m.Max(); !ok || k != 50 || v != 100 {
+		t.Fatalf("Max = %d,%d,%v", k, v, ok)
+	}
+	if k, _, ok := m.Floor(35); !ok || k != 30 {
+		t.Fatalf("Floor(35) = %d,%v", k, ok)
+	}
+	if k, _, ok := m.Floor(30); !ok || k != 30 {
+		t.Fatalf("Floor(30) = %d,%v", k, ok)
+	}
+	if _, _, ok := m.Floor(5); ok {
+		t.Fatal("Floor(5) returned ok")
+	}
+	if k, _, ok := m.Ceiling(35); !ok || k != 40 {
+		t.Fatalf("Ceiling(35) = %d,%v", k, ok)
+	}
+	if _, _, ok := m.Ceiling(55); ok {
+		t.Fatal("Ceiling(55) returned ok")
+	}
+	var got []uint64
+	m.Range(15, 45, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3 || got[0] != 20 || got[2] != 40 {
+		t.Fatalf("Range(15,45) = %v", got)
+	}
+	n := 0
+	m.Range(0, 100, func(k, v uint64) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early-stop range visited %d", n)
+	}
+}
+
+func TestQuickRBRangeMatchesReference(t *testing.T) {
+	f := func(keys []uint16, lo, hi uint16) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a, err := alloc.Format(heap.New(newBigHeapBackend()))
+		if err != nil {
+			return false
+		}
+		m, err := NewRBMap(a)
+		if err != nil {
+			return false
+		}
+		ref := map[uint64]bool{}
+		for _, k := range keys {
+			if err := m.Put(uint64(k), 1); err != nil {
+				return false
+			}
+			ref[uint64(k)] = true
+		}
+		want := 0
+		for k := range ref {
+			if k >= uint64(lo) && k <= uint64(hi) {
+				want++
+			}
+		}
+		got := 0
+		prev := -1
+		okOrder := true
+		m.Range(uint64(lo), uint64(hi), func(k, v uint64) bool {
+			if int(k) <= prev {
+				okOrder = false
+			}
+			prev = int(k)
+			got++
+			return true
+		})
+		return okOrder && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package pds
+
+import (
+	"errors"
+	"fmt"
+
+	"libcrpm/internal/alloc"
+	"libcrpm/internal/heap"
+)
+
+// Vector is a persistent growable array of uint64 (the third container a
+// std-library port needs besides map and unordered_map). Growth reallocates
+// the backing array through the persistent allocator — doubling, like
+// std::vector — and frees the old one; all metadata lives in the heap, so a
+// crash rolls length, capacity, and contents back together.
+type Vector struct {
+	h    *heap.Heap
+	a    *alloc.Allocator
+	head int
+}
+
+// Vector header fields.
+const (
+	vecLen      = 0
+	vecCap      = 8
+	vecData     = 16
+	vecHeaderSz = 24
+)
+
+// initialVectorCap is the capacity allocated on first append.
+const initialVectorCap = 8
+
+// NewVector allocates an empty vector.
+func NewVector(a *alloc.Allocator) (*Vector, error) {
+	head, err := a.Alloc(vecHeaderSz)
+	if err != nil {
+		return nil, err
+	}
+	h := a.Heap()
+	h.WriteU64(head+vecLen, 0)
+	h.WriteU64(head+vecCap, 0)
+	h.WriteU64(head+vecData, 0)
+	return &Vector{h: h, a: a, head: head}, nil
+}
+
+// OpenVector attaches to an existing vector by its root offset.
+func OpenVector(a *alloc.Allocator, root int) (*Vector, error) {
+	if root <= 0 || root >= a.Heap().Size() {
+		return nil, fmt.Errorf("pds: invalid vector root %d", root)
+	}
+	return &Vector{h: a.Heap(), a: a, head: root}, nil
+}
+
+// Root returns the offset to store in a root slot.
+func (v *Vector) Root() int { return v.head }
+
+// Len returns the element count.
+func (v *Vector) Len() int { return int(v.h.ReadU64(v.head + vecLen)) }
+
+// Cap returns the allocated capacity in elements.
+func (v *Vector) Cap() int { return int(v.h.ReadU64(v.head + vecCap)) }
+
+func (v *Vector) data() int { return int(v.h.ReadU64(v.head + vecData)) }
+
+func (v *Vector) boundsCheck(i int) {
+	if i < 0 || i >= v.Len() {
+		panic(fmt.Sprintf("pds: vector index %d out of [0,%d)", i, v.Len()))
+	}
+}
+
+// Get loads element i.
+func (v *Vector) Get(i int) uint64 {
+	v.boundsCheck(i)
+	return v.h.ReadU64(v.data() + 8*i)
+}
+
+// Set stores element i.
+func (v *Vector) Set(i int, val uint64) {
+	v.boundsCheck(i)
+	v.h.WriteU64(v.data()+8*i, val)
+}
+
+// Append adds an element, growing the backing array if needed.
+func (v *Vector) Append(val uint64) error {
+	n, c := v.Len(), v.Cap()
+	if n == c {
+		newCap := c * 2
+		if newCap == 0 {
+			newCap = initialVectorCap
+		}
+		if err := v.reserve(newCap); err != nil {
+			return err
+		}
+	}
+	v.h.WriteU64(v.data()+8*n, val)
+	v.h.WriteU64(v.head+vecLen, uint64(n+1))
+	return nil
+}
+
+// reserve reallocates to at least newCap elements.
+func (v *Vector) reserve(newCap int) error {
+	if newCap <= v.Cap() {
+		return nil
+	}
+	nd, err := v.a.Alloc(8 * newCap)
+	if err != nil {
+		return err
+	}
+	old := v.data()
+	n := v.Len()
+	if n > 0 {
+		v.h.WriteBytes(nd, v.h.ReadBytes(old, 8*n))
+	}
+	v.h.WriteU64(v.head+vecData, uint64(nd))
+	v.h.WriteU64(v.head+vecCap, uint64(newCap))
+	if old != 0 {
+		v.a.Free(old)
+	}
+	return nil
+}
+
+// Reserve pre-allocates capacity for at least n elements.
+func (v *Vector) Reserve(n int) error {
+	if n < 0 {
+		return errors.New("pds: negative capacity")
+	}
+	return v.reserve(n)
+}
+
+// Pop removes and returns the last element.
+func (v *Vector) Pop() (uint64, error) {
+	n := v.Len()
+	if n == 0 {
+		return 0, errors.New("pds: pop from empty vector")
+	}
+	val := v.h.ReadU64(v.data() + 8*(n-1))
+	v.h.WriteU64(v.head+vecLen, uint64(n-1))
+	return val, nil
+}
+
+// ForEach visits elements in index order; fn returning false stops.
+func (v *Vector) ForEach(fn func(i int, val uint64) bool) {
+	n, d := v.Len(), v.data()
+	for i := 0; i < n; i++ {
+		if !fn(i, v.h.ReadU64(d+8*i)) {
+			return
+		}
+	}
+}

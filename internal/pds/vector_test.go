@@ -1,0 +1,252 @@
+package pds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"libcrpm/internal/alloc"
+	"libcrpm/internal/core"
+	"libcrpm/internal/heap"
+	"libcrpm/internal/nvm"
+	"libcrpm/internal/region"
+)
+
+func TestVectorAppendGetSet(t *testing.T) {
+	a := newAlloc(t, 4<<20)
+	v, err := NewVector(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 0 || v.Cap() != 0 {
+		t.Fatalf("fresh vector len=%d cap=%d", v.Len(), v.Cap())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if err := v.Append(i * 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Len() != 1000 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.Cap() < 1000 {
+		t.Fatalf("Cap = %d", v.Cap())
+	}
+	for i := 0; i < 1000; i++ {
+		if got := v.Get(i); got != uint64(i*2) {
+			t.Fatalf("Get(%d) = %d", i, got)
+		}
+	}
+	v.Set(500, 42)
+	if v.Get(500) != 42 {
+		t.Fatal("Set lost")
+	}
+}
+
+func TestVectorPop(t *testing.T) {
+	a := newAlloc(t, 1<<20)
+	v, _ := NewVector(a)
+	for i := uint64(1); i <= 5; i++ {
+		if err := v.Append(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(5); i >= 1; i-- {
+		got, err := v.Pop()
+		if err != nil || got != i {
+			t.Fatalf("Pop = %d,%v; want %d", got, err, i)
+		}
+	}
+	if _, err := v.Pop(); err == nil {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestVectorReserveAndBounds(t *testing.T) {
+	a := newAlloc(t, 1<<20)
+	v, _ := NewVector(a)
+	if err := v.Reserve(100); err != nil {
+		t.Fatal(err)
+	}
+	if v.Cap() < 100 || v.Len() != 0 {
+		t.Fatalf("cap=%d len=%d", v.Cap(), v.Len())
+	}
+	if err := v.Reserve(-1); err == nil {
+		t.Fatal("negative reserve accepted")
+	}
+	for _, fn := range []func(){
+		func() { v.Get(0) },
+		func() { v.Set(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-bounds access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVectorForEach(t *testing.T) {
+	a := newAlloc(t, 1<<20)
+	v, _ := NewVector(a)
+	for i := uint64(0); i < 10; i++ {
+		if err := v.Append(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := uint64(0)
+	v.ForEach(func(i int, val uint64) bool { sum += val; return true })
+	if sum != 45 {
+		t.Fatalf("sum = %d", sum)
+	}
+	n := 0
+	v.ForEach(func(i int, val uint64) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestVectorGrowthReusesFreedArrays(t *testing.T) {
+	a := newAlloc(t, 1<<20)
+	v, _ := NewVector(a)
+	for i := uint64(0); i < 100; i++ {
+		if err := v.Append(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	usedAfterGrowth := a.Used()
+	// A second vector's growth path reuses the freed arrays of the first.
+	v2, _ := NewVector(a)
+	for i := uint64(0); i < 50; i++ {
+		if err := v2.Append(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := a.Used() - usedAfterGrowth
+	// 50 elements should cost at most one fresh 64-element array (the
+	// smaller ones come off the free lists).
+	if grown > 8*64+16+vecHeaderSz+16 {
+		t.Fatalf("second vector consumed %d fresh bytes; free lists unused", grown)
+	}
+}
+
+func TestVectorCrashRecovery(t *testing.T) {
+	opts := core.Options{
+		Region: region.Config{HeapSize: 256 << 10, SegmentSize: 32 << 10, BlockSize: 256, BackupRatio: 1},
+	}
+	l, err := region.NewLayout(opts.Region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := nvm.NewDevice(l.DeviceSize())
+	c, err := core.NewContainer(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := alloc.Format(heap.New(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVector(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetRoot(0, uint64(v.Root()))
+	for i := uint64(0); i < 200; i++ {
+		if err := v.Append(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted growth across a reallocation boundary.
+	for i := uint64(200); i < 600; i++ {
+		if err := v.Append(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.Crash(rand.New(rand.NewSource(3)))
+	c2, err := core.OpenContainer(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := alloc.Open(heap.New(c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := OpenVector(a2, int(a2.Root(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() != 200 {
+		t.Fatalf("Len = %d, want the committed 200", v2.Len())
+	}
+	for i := 0; i < 200; i++ {
+		if got := v2.Get(i); got != uint64(i) {
+			t.Fatalf("element %d = %d after recovery", i, got)
+		}
+	}
+	// Still fully usable, including the reallocation path.
+	for i := uint64(200); i < 400; i++ {
+		if err := v2.Append(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVectorAgainstSlice(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a, err := alloc.Format(heap.New(newBigHeapBackend()))
+		if err != nil {
+			return false
+		}
+		v, err := NewVector(a)
+		if err != nil {
+			return false
+		}
+		var ref []uint64
+		for _, op := range ops {
+			switch op % 3 {
+			case 0, 1:
+				if err := v.Append(uint64(op)); err != nil {
+					return false
+				}
+				ref = append(ref, uint64(op))
+			case 2:
+				if len(ref) > 0 {
+					got, err := v.Pop()
+					if err != nil || got != ref[len(ref)-1] {
+						return false
+					}
+					ref = ref[:len(ref)-1]
+				}
+			}
+		}
+		if v.Len() != len(ref) {
+			return false
+		}
+		for i, want := range ref {
+			if v.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenVectorBadRoot(t *testing.T) {
+	a := newAlloc(t, 1<<20)
+	if _, err := OpenVector(a, 0); err == nil {
+		t.Fatal("OpenVector(0) succeeded")
+	}
+}

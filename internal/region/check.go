@@ -1,0 +1,151 @@
+package region
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"libcrpm/internal/nvm"
+)
+
+// CheckReport is the result of an offline container consistency check
+// (the fsck of libcrpm containers).
+type CheckReport struct {
+	// Issues are violations of metadata invariants; a non-empty list means
+	// the container is corrupt.
+	Issues []string
+	// Info are observations that are legal but worth surfacing (e.g. pairs
+	// whose contents diverge, which is normal between a copy-on-write and
+	// the next recovery).
+	Info []string
+	// CommittedEpoch is the epoch the container would recover to.
+	CommittedEpoch uint64
+	// PairedBackups counts backups currently mapped to a main segment.
+	PairedBackups int
+}
+
+// OK reports whether no invariant violations were found.
+func (r CheckReport) OK() bool { return len(r.Issues) == 0 }
+
+// String renders the report.
+func (r CheckReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "committed epoch: %d\n", r.CommittedEpoch)
+	fmt.Fprintf(&b, "paired backups:  %d\n", r.PairedBackups)
+	for _, s := range r.Issues {
+		fmt.Fprintf(&b, "ISSUE: %s\n", s)
+	}
+	for _, s := range r.Info {
+		fmt.Fprintf(&b, "info:  %s\n", s)
+	}
+	if r.OK() {
+		b.WriteString("container metadata is consistent\n")
+	}
+	return b.String()
+}
+
+// Check validates a container's persistent metadata invariants against a
+// layout, without modifying the device:
+//
+//   - magic, version and geometry match;
+//   - every segment-state entry holds a defined state;
+//   - every backup_to_main entry is free or references a valid main
+//     segment, and no two backups claim the same main;
+//   - every SS_Backup entry in the active array has a paired backup (its
+//     checkpoint data must exist somewhere).
+//
+// With deep set, it additionally compares the contents of every pair and
+// reports (as info, not issues) which are in sync — after a clean recovery
+// all of them are.
+func Check(dev *nvm.Device, l *Layout, deep bool) CheckReport {
+	var r CheckReport
+	w := dev.Working()
+	if got := binary.LittleEndian.Uint64(w[offMagic:]); got != Magic {
+		r.Issues = append(r.Issues, fmt.Sprintf("bad magic %#x", got))
+		return r
+	}
+	if got := binary.LittleEndian.Uint32(w[offVersion:]); got != Version {
+		r.Issues = append(r.Issues, fmt.Sprintf("unsupported version %d", got))
+		return r
+	}
+	for _, g := range []struct {
+		off  int
+		want int
+		name string
+	}{
+		{offSegSize, l.SegSize, "segment size"},
+		{offBlkSize, l.BlkSize, "block size"},
+		{offNMain, l.NMain, "main segment count"},
+		{offNBackup, l.NBackup, "backup segment count"},
+	} {
+		if got := int(binary.LittleEndian.Uint32(w[g.off:])); got != g.want {
+			r.Issues = append(r.Issues, fmt.Sprintf("%s mismatch: on-media %d, expected %d", g.name, got, g.want))
+		}
+	}
+	if len(r.Issues) > 0 {
+		return r
+	}
+	if dev.Size() < l.DeviceSize() {
+		r.Issues = append(r.Issues, fmt.Sprintf("device %d bytes, layout needs %d", dev.Size(), l.DeviceSize()))
+		return r
+	}
+
+	r.CommittedEpoch = binary.LittleEndian.Uint64(w[offCommitted:])
+	active := int(r.CommittedEpoch % 2)
+
+	// Segment-state domain.
+	for arr := 0; arr < 2; arr++ {
+		for i := 0; i < l.NMain; i++ {
+			st := SegState(w[l.segStateOff(arr)+i])
+			if st != SSInitial && st != SSMain && st != SSBackup {
+				r.Issues = append(r.Issues, fmt.Sprintf("seg_state[%d][%d] = %d: undefined state", arr, i, st))
+			}
+		}
+	}
+
+	// Pairing table.
+	owner := make(map[uint32][]int)
+	for j := 0; j < l.NBackup; j++ {
+		m := binary.LittleEndian.Uint32(w[l.backupToMainOff(j):])
+		if m == NoPair {
+			continue
+		}
+		if int(m) >= l.NMain {
+			r.Issues = append(r.Issues, fmt.Sprintf("backup_to_main[%d] = %d: beyond %d main segments", j, m, l.NMain))
+			continue
+		}
+		owner[m] = append(owner[m], j)
+		r.PairedBackups++
+	}
+	for m, js := range owner {
+		if len(js) > 1 {
+			r.Issues = append(r.Issues, fmt.Sprintf("main segment %d claimed by %d backups %v", m, len(js), js))
+		}
+	}
+
+	// Every authoritative backup must exist.
+	for i := 0; i < l.NMain; i++ {
+		st := SegState(w[l.segStateOff(active)+i])
+		if st == SSBackup {
+			if _, ok := owner[uint32(i)]; !ok {
+				r.Issues = append(r.Issues, fmt.Sprintf("segment %d: active state SS_Backup but no paired backup", i))
+			}
+		}
+	}
+
+	if deep {
+		inSync := 0
+		for m, js := range owner {
+			j := js[0]
+			a := w[l.MainOff(int(m)) : l.MainOff(int(m))+l.SegSize]
+			b := w[l.BackupOff(j) : l.BackupOff(j)+l.SegSize]
+			if bytes.Equal(a, b) {
+				inSync++
+			} else {
+				r.Info = append(r.Info, fmt.Sprintf("pair (main %d, backup %d) diverges — normal between a CoW and the next recovery", m, j))
+			}
+		}
+		r.Info = append(r.Info, fmt.Sprintf("%d/%d pairs in sync", inSync, len(owner)))
+	}
+	return r
+}

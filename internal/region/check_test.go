@@ -1,0 +1,103 @@
+package region
+
+import (
+	"strings"
+	"testing"
+
+	"libcrpm/internal/nvm"
+)
+
+func checkedLayout(t *testing.T) (*nvm.Device, *Layout, *Meta) {
+	t.Helper()
+	l := mustLayout(t, Config{HeapSize: 4 << 20, SegmentSize: 1 << 20, BlockSize: 256, BackupRatio: 1})
+	dev := nvm.NewDevice(l.DeviceSize())
+	m, err := Format(dev, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, l, m
+}
+
+func TestCheckFreshContainer(t *testing.T) {
+	dev, l, _ := checkedLayout(t)
+	r := Check(dev, l, true)
+	if !r.OK() {
+		t.Fatalf("fresh container flagged:\n%s", r)
+	}
+	if r.CommittedEpoch != 0 || r.PairedBackups != 0 {
+		t.Fatalf("epoch=%d pairs=%d", r.CommittedEpoch, r.PairedBackups)
+	}
+	if !strings.Contains(r.String(), "consistent") {
+		t.Fatalf("report: %s", r)
+	}
+}
+
+func TestCheckUnformatted(t *testing.T) {
+	l := mustLayout(t, Config{HeapSize: 1 << 20, SegmentSize: 1 << 20, BlockSize: 256, BackupRatio: 1})
+	r := Check(nvm.NewDevice(l.DeviceSize()), l, false)
+	if r.OK() {
+		t.Fatal("unformatted device passed")
+	}
+}
+
+func TestCheckDetectsBadSegState(t *testing.T) {
+	dev, l, m := checkedLayout(t)
+	m.SetSegState(0, 1, SegState(7))
+	r := Check(dev, l, false)
+	if r.OK() {
+		t.Fatal("undefined segment state not flagged")
+	}
+	if !strings.Contains(strings.Join(r.Issues, "\n"), "undefined state") {
+		t.Fatalf("issues: %v", r.Issues)
+	}
+}
+
+func TestCheckDetectsDuplicatePairing(t *testing.T) {
+	dev, l, m := checkedLayout(t)
+	m.SetBackupToMain(0, 2)
+	m.SetBackupToMain(1, 2)
+	r := Check(dev, l, false)
+	if r.OK() {
+		t.Fatal("duplicate pairing not flagged")
+	}
+}
+
+func TestCheckDetectsOutOfRangePairing(t *testing.T) {
+	dev, l, m := checkedLayout(t)
+	m.SetBackupToMain(0, 99)
+	r := Check(dev, l, false)
+	if r.OK() {
+		t.Fatal("out-of-range pairing not flagged")
+	}
+}
+
+func TestCheckDetectsOrphanBackupState(t *testing.T) {
+	dev, l, m := checkedLayout(t)
+	m.SetSegState(0, 1, SSBackup) // active array (epoch 0), no pairing
+	r := Check(dev, l, false)
+	if r.OK() {
+		t.Fatal("SS_Backup without a pair not flagged")
+	}
+}
+
+func TestCheckDeepReportsDivergence(t *testing.T) {
+	dev, l, m := checkedLayout(t)
+	m.SetBackupToMain(0, 1)
+	dev.Store(l.MainOff(1), []byte{1, 2, 3}) // diverge the pair
+	r := Check(dev, l, true)
+	if !r.OK() {
+		t.Fatalf("divergence must be info, not an issue:\n%s", r)
+	}
+	if !strings.Contains(strings.Join(r.Info, "\n"), "diverges") {
+		t.Fatalf("info: %v", r.Info)
+	}
+}
+
+func TestCheckGeometryMismatch(t *testing.T) {
+	dev, _, _ := checkedLayout(t)
+	l2 := mustLayout(t, Config{HeapSize: 4 << 20, SegmentSize: 2 << 20, BlockSize: 256, BackupRatio: 1})
+	r := Check(dev, l2, false)
+	if r.OK() {
+		t.Fatal("geometry mismatch not flagged")
+	}
+}

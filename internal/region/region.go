@@ -1,0 +1,338 @@
+// Package region implements libcrpm's compacted persistent memory layout
+// (paper §3.3, Figure 4): a metadata block followed by a main region and a
+// backup region, both divided into segments (copy-on-write granularity) that
+// are further divided into blocks (data-copy granularity).
+//
+// The metadata holds the two crash-consistency data structures of the
+// protocol: the backup-to-main-segment mapping array and the two segment
+// state arrays selected by committed_epoch parity.
+package region
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"libcrpm/internal/nvm"
+)
+
+// Magic identifies a formatted libcrpm container.
+const Magic uint64 = 0x4352504d4c415954 // "CRPMLAYT"
+
+// Version is the on-media layout version.
+const Version uint32 = 1
+
+// SegState is the per-main-segment state recorded in the segment state
+// arrays (§3.3).
+type SegState uint8
+
+const (
+	// SSInitial: the segment does not store program state yet.
+	SSInitial SegState = 0
+	// SSMain: the main segment holds the checkpoint state.
+	SSMain SegState = 1
+	// SSBackup: the paired backup segment holds the checkpoint state.
+	SSBackup SegState = 2
+)
+
+// String returns the state mnemonic.
+func (s SegState) String() string {
+	switch s {
+	case SSInitial:
+		return "SS_Initial"
+	case SSMain:
+		return "SS_Main"
+	case SSBackup:
+		return "SS_Backup"
+	default:
+		return fmt.Sprintf("SegState(%d)", uint8(s))
+	}
+}
+
+// NoPair marks a free backup_to_main entry.
+const NoPair = ^uint32(0)
+
+// Default geometry, matching the paper's defaults.
+const (
+	// DefaultSegmentSize is the copy-on-write granularity (2 MB).
+	DefaultSegmentSize = 2 << 20
+	// DefaultBlockSize is the data-copy granularity (256 B).
+	DefaultBlockSize = 256
+)
+
+// Config selects a container geometry.
+type Config struct {
+	// HeapSize is the application-visible capacity (= main region size).
+	// Rounded up to a whole number of segments.
+	HeapSize int
+	// SegmentSize is the copy-on-write granularity. Must be a power of two
+	// and a multiple of BlockSize.
+	SegmentSize int
+	// BlockSize is the data-copy granularity. Must be a power of two and a
+	// multiple of the cache-line size.
+	BlockSize int
+	// BackupRatio is nr_backup_segs / nr_main_segs in (0, 1]. It bounds the
+	// number of segments that may be modified in one epoch.
+	BackupRatio float64
+}
+
+// WithDefaults fills unset fields with the paper's defaults.
+func (c Config) WithDefaults() Config {
+	if c.SegmentSize == 0 {
+		c.SegmentSize = DefaultSegmentSize
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = DefaultBlockSize
+	}
+	if c.BackupRatio == 0 {
+		c.BackupRatio = 1.0
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.HeapSize <= 0 {
+		return errors.New("region: HeapSize must be positive")
+	}
+	if c.SegmentSize <= 0 || c.SegmentSize&(c.SegmentSize-1) != 0 {
+		return fmt.Errorf("region: SegmentSize %d is not a positive power of two", c.SegmentSize)
+	}
+	if c.BlockSize <= 0 || c.BlockSize&(c.BlockSize-1) != 0 {
+		return fmt.Errorf("region: BlockSize %d is not a positive power of two", c.BlockSize)
+	}
+	if c.BlockSize%nvm.LineSize != 0 {
+		return fmt.Errorf("region: BlockSize %d is not a multiple of the %d-byte cache line", c.BlockSize, nvm.LineSize)
+	}
+	if c.SegmentSize%c.BlockSize != 0 {
+		return fmt.Errorf("region: SegmentSize %d is not a multiple of BlockSize %d", c.SegmentSize, c.BlockSize)
+	}
+	if c.BackupRatio <= 0 || c.BackupRatio > 1 {
+		return fmt.Errorf("region: BackupRatio %v outside (0, 1]", c.BackupRatio)
+	}
+	return nil
+}
+
+// Layout is the resolved geometry of a container inside one device.
+type Layout struct {
+	SegSize int
+	BlkSize int
+	NMain   int
+	NBackup int
+
+	metaSize  int
+	mainOff   int
+	backupOff int
+}
+
+// NewLayout resolves a configuration into a concrete layout.
+func NewLayout(c Config) (*Layout, error) {
+	c = c.WithDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	nMain := (c.HeapSize + c.SegmentSize - 1) / c.SegmentSize
+	nBackup := int(float64(nMain)*c.BackupRatio + 0.5)
+	if nBackup < 1 {
+		nBackup = 1
+	}
+	if nBackup > nMain {
+		nBackup = nMain
+	}
+	l := &Layout{SegSize: c.SegmentSize, BlkSize: c.BlockSize, NMain: nMain, NBackup: nBackup}
+	meta := metaFixedSize + 2*nMain + 4*nBackup
+	// Align regions to the media granularity so segment copies never share
+	// cache lines with metadata.
+	l.metaSize = align(meta, 4096)
+	l.mainOff = l.metaSize
+	l.backupOff = l.mainOff + nMain*c.SegmentSize
+	return l, nil
+}
+
+func align(n, a int) int { return (n + a - 1) / a * a }
+
+// Metadata field offsets.
+const (
+	offMagic      = 0
+	offVersion    = 8
+	offSegSize    = 12
+	offBlkSize    = 16
+	offNMain      = 20
+	offNBackup    = 24
+	offCommitted  = 32
+	metaFixedSize = 40
+	// seg_state[0] starts at metaFixedSize, seg_state[1] follows, then
+	// backup_to_main.
+)
+
+// DeviceSize returns the total device bytes the layout occupies.
+func (l *Layout) DeviceSize() int { return l.backupOff + l.NBackup*l.SegSize }
+
+// HeapSize returns the application-visible capacity.
+func (l *Layout) HeapSize() int { return l.NMain * l.SegSize }
+
+// MetadataSize returns the metadata footprint in bytes (unaligned, §5.6).
+func (l *Layout) MetadataSize() int { return metaFixedSize + 2*l.NMain + 4*l.NBackup }
+
+// MainOff returns the device offset of main segment i.
+func (l *Layout) MainOff(i int) int { return l.mainOff + i*l.SegSize }
+
+// BackupOff returns the device offset of backup segment j.
+func (l *Layout) BackupOff(j int) int { return l.backupOff + j*l.SegSize }
+
+// HeapToDevice converts a heap offset (application view) to a device offset
+// in the main region.
+func (l *Layout) HeapToDevice(off int) int { return l.mainOff + off }
+
+// SegOf returns the main segment index containing heap offset off.
+func (l *Layout) SegOf(off int) int { return off / l.SegSize }
+
+// BlockOf returns the global block index containing heap offset off.
+func (l *Layout) BlockOf(off int) int { return off / l.BlkSize }
+
+// BlocksPerSeg returns the number of blocks per segment.
+func (l *Layout) BlocksPerSeg() int { return l.SegSize / l.BlkSize }
+
+// TotalBlocks returns the number of blocks in the main region.
+func (l *Layout) TotalBlocks() int { return l.NMain * l.BlocksPerSeg() }
+
+func (l *Layout) segStateOff(arr int) int { return metaFixedSize + arr*l.NMain }
+
+func (l *Layout) backupToMainOff(j int) int { return metaFixedSize + 2*l.NMain + 4*j }
+
+// Meta provides typed access to the persistent metadata of a container on a
+// device. Mutators perform cached stores; callers are responsible for the
+// flush/fence protocol.
+type Meta struct {
+	dev *nvm.Device
+	l   *Layout
+}
+
+// Format initializes a fresh container: magic, geometry, epoch 0, all
+// segment states SS_Initial, all backup pairs free. The metadata is flushed
+// and fenced before Format returns.
+func Format(dev *nvm.Device, l *Layout) (*Meta, error) {
+	if dev.Size() < l.DeviceSize() {
+		return nil, fmt.Errorf("region: device %d bytes, layout needs %d", dev.Size(), l.DeviceSize())
+	}
+	m := &Meta{dev: dev, l: l}
+	var b8 [8]byte
+	var b4 [4]byte
+	binary.LittleEndian.PutUint64(b8[:], Magic)
+	dev.Store(offMagic, b8[:])
+	binary.LittleEndian.PutUint32(b4[:], Version)
+	dev.Store(offVersion, b4[:])
+	binary.LittleEndian.PutUint32(b4[:], uint32(l.SegSize))
+	dev.Store(offSegSize, b4[:])
+	binary.LittleEndian.PutUint32(b4[:], uint32(l.BlkSize))
+	dev.Store(offBlkSize, b4[:])
+	binary.LittleEndian.PutUint32(b4[:], uint32(l.NMain))
+	dev.Store(offNMain, b4[:])
+	binary.LittleEndian.PutUint32(b4[:], uint32(l.NBackup))
+	dev.Store(offNBackup, b4[:])
+	binary.LittleEndian.PutUint64(b8[:], 0)
+	dev.Store(offCommitted, b8[:])
+	zero := make([]byte, 2*l.NMain)
+	dev.StoreBulk(l.segStateOff(0), zero)
+	free := make([]byte, 4*l.NBackup)
+	for j := 0; j < l.NBackup; j++ {
+		binary.LittleEndian.PutUint32(free[4*j:], NoPair)
+	}
+	dev.StoreBulk(l.backupToMainOff(0), free)
+	dev.FlushRange(0, l.MetadataSize())
+	dev.SFence()
+	return m, nil
+}
+
+// Open validates an existing container's metadata against the layout.
+func Open(dev *nvm.Device, l *Layout) (*Meta, error) {
+	if dev.Size() < l.DeviceSize() {
+		return nil, fmt.Errorf("region: device %d bytes, layout needs %d", dev.Size(), l.DeviceSize())
+	}
+	w := dev.Working()
+	if got := binary.LittleEndian.Uint64(w[offMagic:]); got != Magic {
+		return nil, fmt.Errorf("region: bad magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(w[offVersion:]); got != Version {
+		return nil, fmt.Errorf("region: unsupported version %d", got)
+	}
+	check := func(off int, want int, name string) error {
+		if got := int(binary.LittleEndian.Uint32(w[off:])); got != want {
+			return fmt.Errorf("region: %s mismatch: on-media %d, layout %d", name, got, want)
+		}
+		return nil
+	}
+	if err := check(offSegSize, l.SegSize, "segment size"); err != nil {
+		return nil, err
+	}
+	if err := check(offBlkSize, l.BlkSize, "block size"); err != nil {
+		return nil, err
+	}
+	if err := check(offNMain, l.NMain, "main segment count"); err != nil {
+		return nil, err
+	}
+	if err := check(offNBackup, l.NBackup, "backup segment count"); err != nil {
+		return nil, err
+	}
+	return &Meta{dev: dev, l: l}, nil
+}
+
+// Layout returns the geometry.
+func (m *Meta) Layout() *Layout { return m.l }
+
+// CommittedEpoch reads the committed epoch counter.
+func (m *Meta) CommittedEpoch() uint64 {
+	return binary.LittleEndian.Uint64(m.dev.Working()[offCommitted:])
+}
+
+// SetCommittedEpoch stores and flushes (but does not fence) the epoch
+// counter. The 8-byte store is line-contained and therefore atomic with
+// respect to crashes.
+func (m *Meta) SetCommittedEpoch(e uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], e)
+	m.dev.Store(offCommitted, b[:])
+	m.dev.FlushRange(offCommitted, 8)
+}
+
+// SegState reads entry i of segment state array arr (0 or 1).
+func (m *Meta) SegState(arr, i int) SegState {
+	return SegState(m.dev.Working()[m.l.segStateOff(arr)+i])
+}
+
+// SetSegState stores entry i of array arr without flushing.
+func (m *Meta) SetSegState(arr, i int, s SegState) {
+	m.dev.Store(m.l.segStateOff(arr)+i, []byte{byte(s)})
+}
+
+// FlushSegState flushes entry i of array arr.
+func (m *Meta) FlushSegState(arr, i int) {
+	m.dev.FlushRange(m.l.segStateOff(arr)+i, 1)
+}
+
+// CopySegStateArray bulk-copies array src into array dst (volatile store;
+// caller flushes via FlushSegStateArray).
+func (m *Meta) CopySegStateArray(dst, src int) {
+	w := m.dev.Working()
+	buf := make([]byte, m.l.NMain)
+	copy(buf, w[m.l.segStateOff(src):m.l.segStateOff(src)+m.l.NMain])
+	m.dev.StoreBulk(m.l.segStateOff(dst), buf)
+}
+
+// FlushSegStateArray flushes the whole array arr.
+func (m *Meta) FlushSegStateArray(arr int) {
+	m.dev.FlushRange(m.l.segStateOff(arr), m.l.NMain)
+}
+
+// BackupToMain reads the paired main segment of backup j, or NoPair.
+func (m *Meta) BackupToMain(j int) uint32 {
+	return binary.LittleEndian.Uint32(m.dev.Working()[m.l.backupToMainOff(j):])
+}
+
+// SetBackupToMain stores and flushes the pairing entry for backup j.
+func (m *Meta) SetBackupToMain(j int, main uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], main)
+	m.dev.Store(m.l.backupToMainOff(j), b[:])
+	m.dev.FlushRange(m.l.backupToMainOff(j), 4)
+}
