@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -92,19 +94,54 @@ func experiments() []experiment {
 	}
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body; it returns the exit code so that deferred profile
+// writers execute before the process exits.
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run (or 'all')")
 	scaleName := flag.String("scale", "small", "input scale: small | medium | paper (paper needs ~10GB RAM and hours)")
 	format := flag.String("format", "text", "output format: text | csv")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the experiments finish) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Create eagerly so a bad path fails before hours of simulation.
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	exps := experiments()
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-10s %s\n", e.name, e.desc)
 		}
-		return
+		return 0
 	}
 
 	var sc harness.Scale
@@ -117,7 +154,7 @@ func main() {
 		sc = harness.PaperScale()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q (small|medium|paper)\n", *scaleName)
-		os.Exit(2)
+		return 2
 	}
 
 	var selected []experiment
@@ -131,7 +168,7 @@ func main() {
 		}
 		if selected == nil {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -140,7 +177,7 @@ func main() {
 		tables, err := e.run(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			os.Exit(1)
+			return 1
 		}
 		for _, t := range tables {
 			if *format == "csv" {
@@ -153,4 +190,5 @@ func main() {
 			fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	return 0
 }

@@ -60,17 +60,53 @@ func (s *Set) Clear(i int) bool {
 	return true
 }
 
-// SetRange sets bits [from, to).
-func (s *Set) SetRange(from, to int) {
-	for i := from; i < to; i++ {
-		s.Set(i)
+func (s *Set) checkRange(from, to int) {
+	if from < 0 || to > s.n || from > to {
+		panic("bitmap: range out of bounds")
 	}
 }
 
-// ClearRange clears bits [from, to).
+// rangeMask returns the mask of bits a range covers within word w, where the
+// range spans words [wFrom, wTo] with intra-word bit offsets bFrom and bTo
+// (bTo is the offset of the last bit, inclusive).
+func rangeMask(w, wFrom, wTo, bFrom, bTo int) uint64 {
+	m := ^uint64(0)
+	if w == wFrom {
+		m &= ^uint64(0) << uint(bFrom)
+	}
+	if w == wTo {
+		m &= ^uint64(0) >> uint(wordBits-1-bTo)
+	}
+	return m
+}
+
+// SetRange sets bits [from, to), one masked word at a time.
+func (s *Set) SetRange(from, to int) {
+	s.checkRange(from, to)
+	if from >= to {
+		return
+	}
+	wFrom, wTo := from/wordBits, (to-1)/wordBits
+	bFrom, bTo := from%wordBits, (to-1)%wordBits
+	for w := wFrom; w <= wTo; w++ {
+		m := rangeMask(w, wFrom, wTo, bFrom, bTo)
+		s.count += bits.OnesCount64(m &^ s.words[w])
+		s.words[w] |= m
+	}
+}
+
+// ClearRange clears bits [from, to), one masked word at a time.
 func (s *Set) ClearRange(from, to int) {
-	for i := from; i < to; i++ {
-		s.Clear(i)
+	s.checkRange(from, to)
+	if from >= to {
+		return
+	}
+	wFrom, wTo := from/wordBits, (to-1)/wordBits
+	bFrom, bTo := from%wordBits, (to-1)%wordBits
+	for w := wFrom; w <= wTo; w++ {
+		m := rangeMask(w, wFrom, wTo, bFrom, bTo)
+		s.count -= bits.OnesCount64(m & s.words[w])
+		s.words[w] &^= m
 	}
 }
 
@@ -126,13 +162,120 @@ func (s *Set) ForEach(fn func(i int)) {
 	}
 }
 
-// CountRange returns the number of set bits in [from, to).
+// CountRange returns the number of set bits in [from, to), using a popcount
+// per word rather than a scan per bit.
 func (s *Set) CountRange(from, to int) int {
+	s.checkRange(from, to)
+	if from >= to {
+		return 0
+	}
+	wFrom, wTo := from/wordBits, (to-1)/wordBits
+	bFrom, bTo := from%wordBits, (to-1)%wordBits
 	n := 0
-	for i := s.NextSet(from); i >= 0 && i < to; i = s.NextSet(i + 1) {
-		n++
+	for w := wFrom; w <= wTo; w++ {
+		n += bits.OnesCount64(s.words[w] & rangeMask(w, wFrom, wTo, bFrom, bTo))
 	}
 	return n
+}
+
+// NextSetInRange returns the index of the first set bit in [from, to), or -1
+// if there is none.
+func (s *Set) NextSetInRange(from, to int) int {
+	if from < 0 {
+		from = 0
+	}
+	if to > s.n {
+		to = s.n
+	}
+	if from >= to {
+		return -1
+	}
+	w := from / wordBits
+	word := s.words[w] >> (uint(from) % wordBits)
+	if word != 0 {
+		if i := from + bits.TrailingZeros64(word); i < to {
+			return i
+		}
+		return -1
+	}
+	for w++; w*wordBits < to; w++ {
+		if s.words[w] != 0 {
+			if i := w*wordBits + bits.TrailingZeros64(s.words[w]); i < to {
+				return i
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// ForEachInRange calls fn for every set bit in [from, to) in ascending order.
+// fn must not mutate the set.
+func (s *Set) ForEachInRange(from, to int, fn func(i int)) {
+	if from < 0 {
+		from = 0
+	}
+	if to > s.n {
+		to = s.n
+	}
+	if from >= to {
+		return
+	}
+	wFrom, wTo := from/wordBits, (to-1)/wordBits
+	bFrom, bTo := from%wordBits, (to-1)%wordBits
+	for w := wFrom; w <= wTo; w++ {
+		word := s.words[w] & rangeMask(w, wFrom, wTo, bFrom, bTo)
+		for word != 0 {
+			fn(w*wordBits + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// nextClearInRange returns the index of the first clear bit in [from, to),
+// or to if every bit in the range is set.
+func (s *Set) nextClearInRange(from, to int) int {
+	if from >= to {
+		return to
+	}
+	w := from / wordBits
+	word := ^s.words[w] >> (uint(from) % wordBits)
+	if word != 0 {
+		if i := from + bits.TrailingZeros64(word); i < to {
+			return i
+		}
+		return to
+	}
+	for w++; w*wordBits < to; w++ {
+		if s.words[w] != ^uint64(0) {
+			if i := w*wordBits + bits.TrailingZeros64(^s.words[w]); i < to {
+				return i
+			}
+			return to
+		}
+	}
+	return to
+}
+
+// ForEachRunInRange calls fn(runFrom, runTo) for every maximal run of
+// consecutive set bits inside [from, to), in ascending order. Callers use it
+// to coalesce adjacent dirty blocks into single batched flushes or copies.
+// fn must not mutate the set.
+func (s *Set) ForEachRunInRange(from, to int, fn func(runFrom, runTo int)) {
+	if from < 0 {
+		from = 0
+	}
+	if to > s.n {
+		to = s.n
+	}
+	for b := s.NextSetInRange(from, to); b >= 0; b = s.NextSetInRange(b, to) {
+		e := s.nextClearInRange(b+1, to)
+		fn(b, e)
+		if e >= to {
+			return
+		}
+		b = e
+	}
 }
 
 // Union sets every bit of s that is set in o. The two sets must have the

@@ -29,10 +29,13 @@ func (c *Container) checkpointDefault() error {
 		dirtyBytes += c.dirtyBlocks.CountRange(s*bps, (s+1)*bps) * c.l.BlkSize
 	}
 	if dirtyBytes < c.opts.LLCSize {
+		// Runs of adjacent dirty blocks map to contiguous device ranges
+		// (the heap is contiguous in the main region), so each run becomes
+		// one batched flush instead of a CLWB loop per block.
 		for s := c.dirtySegs.NextSet(0); s >= 0; s = c.dirtySegs.NextSet(s + 1) {
-			for b := c.dirtyBlocks.NextSet(s * bps); b >= 0 && b < (s+1)*bps; b = c.dirtyBlocks.NextSet(b + 1) {
-				c.dev.FlushRange(c.l.HeapToDevice(b*c.l.BlkSize), c.l.BlkSize)
-			}
+			c.dirtyBlocks.ForEachRunInRange(s*bps, (s+1)*bps, func(b0, b1 int) {
+				c.dev.FlushRange(c.l.HeapToDevice(b0*c.l.BlkSize), (b1-b0)*c.l.BlkSize)
+			})
 		}
 	} else {
 		c.dev.WBINVD()
@@ -91,11 +94,12 @@ func (c *Container) eagerCoW(activeIdx int) {
 			c.cowBytes += int64(c.l.SegSize)
 		} else {
 			delta := backupOff - mainOff
-			for b := c.dirtyBlocks.NextSet(s * bps); b >= 0 && b < (s+1)*bps; b = c.dirtyBlocks.NextSet(b + 1) {
-				off := c.l.HeapToDevice(b * c.l.BlkSize)
-				c.persistCopy(off+delta, off, c.l.BlkSize)
-				c.cowBytes += int64(c.l.BlkSize)
-			}
+			c.dirtyBlocks.ForEachRunInRange(s*bps, (s+1)*bps, func(b0, b1 int) {
+				off := c.l.HeapToDevice(b0 * c.l.BlkSize)
+				n := (b1 - b0) * c.l.BlkSize
+				c.persistCopy(off+delta, off, n)
+				c.cowBytes += int64(n)
+			})
 		}
 		flips = append(flips, flip{s})
 	}
@@ -157,11 +161,24 @@ func (c *Container) checkpointBuffered() error {
 		}
 		// Copy every block the target region lacks: blocks written this
 		// epoch plus blocks the region missed while the other was current.
-		for b := s * bps; b < (s+1)*bps; b++ {
-			cur := c.curDirty.Test(b)
-			if !cur && !pend.Test(b) {
-				continue
+		// Iterate the union of the two bitmaps with an ascending two-cursor
+		// merge so clean blocks are skipped at word granularity. Clearing
+		// pend at b is safe: the pend cursor has already advanced past b.
+		hi := (s + 1) * bps
+		nc, np := c.curDirty.NextSetInRange(s*bps, hi), pend.NextSetInRange(s*bps, hi)
+		for nc >= 0 || np >= 0 {
+			var b int
+			if np < 0 || (nc >= 0 && nc <= np) {
+				b = nc
+				if nc == np {
+					np = pend.NextSetInRange(np+1, hi)
+				}
+				nc = c.curDirty.NextSetInRange(nc+1, hi)
+			} else {
+				b = np
+				np = pend.NextSetInRange(np+1, hi)
 			}
+			cur := c.curDirty.Test(b)
 			boff := (b - s*bps) * c.l.BlkSize
 			src := c.buf[s*c.l.SegSize+boff : s*c.l.SegSize+boff+c.l.BlkSize]
 			c.dev.ChargeDRAMCopy(c.l.BlkSize)

@@ -49,11 +49,12 @@ func (c *Container) cowCopy(e, s int) {
 		delta := backupOff - mainOff
 		bps := c.l.BlocksPerSeg()
 		base := s * bps
-		for b := c.dirtyBlocks.NextSet(base); b >= 0 && b < base+bps; b = c.dirtyBlocks.NextSet(b + 1) {
-			off := c.l.HeapToDevice(b * c.l.BlkSize)
-			c.persistCopy(off+delta, off, c.l.BlkSize)
-			c.cowBytes += int64(c.l.BlkSize)
-		}
+		c.dirtyBlocks.ForEachRunInRange(base, base+bps, func(b0, b1 int) {
+			off := c.l.HeapToDevice(b0 * c.l.BlkSize)
+			n := (b1 - b0) * c.l.BlkSize
+			c.persistCopy(off+delta, off, n)
+			c.cowBytes += int64(n)
+		})
 	}
 	c.dev.SFence() // fence 1: data + pairing durable
 	c.meta.SetSegState(e, s, region.SSBackup)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/region"
 )
@@ -83,9 +85,7 @@ func (c *Container) Recover() error {
 		for s := 0; s < c.l.NMain; s++ {
 			dst := c.buf[s*c.l.SegSize : (s+1)*c.l.SegSize]
 			if c.meta.SegState(eIdx, s) == region.SSInitial {
-				for i := range dst {
-					dst[i] = 0
-				}
+				clear(dst)
 				continue
 			}
 			src := c.l.MainOff(s)
@@ -103,9 +103,17 @@ func (c *Container) Recover() error {
 	return nil
 }
 
+// isZero scans eight bytes per step; recovery runs it over every SS_Initial
+// segment, so the byte-at-a-time version showed up in profiles.
 func isZero(b []byte) bool {
-	for _, v := range b {
-		if v != 0 {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		if binary.LittleEndian.Uint64(b[i:]) != 0 {
+			return false
+		}
+	}
+	for ; i < len(b); i++ {
+		if b[i] != 0 {
 			return false
 		}
 	}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"testing"
+
+	"libcrpm/internal/workload"
+)
+
+// runOnce drives a small balanced workload on one system and returns the
+// simulated observables that wall-clock optimisations of the simulator must
+// never move: the simulated clock, the fence count, and the media traffic.
+func runOnce(t *testing.T, system string) (simPS int64, sfences, mediaBytes, flushedLines int64) {
+	t.Helper()
+	sc := SmallScale()
+	sc.Ops = 4_000
+	sc.Keys = 3_000
+	s, err := NewDSSetup(system, DSHashMap, sc, Geometry{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Driver(sc, 97)
+	if err := d.Populate(sc.Keys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(workload.Balanced, sc.Ops); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Dev.Stats()
+	return s.Dev.Clock().NowPS(), st.SFences, st.MediaWriteBytes, st.FlushedLines
+}
+
+// TestSimulatedObservablesDeterministic pins the invariance contract of the
+// simulator fast paths: the simulated clock, sfence count, media-write
+// bytes, and flushed-line count of a fixed-seed harness run are exact
+// functions of the workload, not of how fast the instrument executes. Two
+// identical runs must agree bit-for-bit; any divergence means an
+// "optimisation" changed what the simulator measures rather than how fast
+// it measures it.
+func TestSimulatedObservablesDeterministic(t *testing.T) {
+	for _, system := range []string{"libcrpm-Default", "libcrpm-Buffered", "Undo-log"} {
+		t.Run(system, func(t *testing.T) {
+			ps1, sf1, mb1, fl1 := runOnce(t, system)
+			ps2, sf2, mb2, fl2 := runOnce(t, system)
+			if ps1 != ps2 || sf1 != sf2 || mb1 != mb2 || fl1 != fl2 {
+				t.Fatalf("simulated observables not deterministic:\n run1: clock=%dps sfences=%d media=%dB flushed=%d\n run2: clock=%dps sfences=%d media=%dB flushed=%d",
+					ps1, sf1, mb1, fl1, ps2, sf2, mb2, fl2)
+			}
+			if ps1 == 0 || sf1 == 0 || mb1 == 0 {
+				t.Fatalf("degenerate run: clock=%dps sfences=%d media=%dB", ps1, sf1, mb1)
+			}
+		})
+	}
+}

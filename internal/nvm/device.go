@@ -23,11 +23,24 @@ type Device struct {
 
 	// dirty marks cache lines written but not yet flushed.
 	dirty *bitmap.Set
-	// pendingUndo holds, for every line flushed (CLWB/NT) since the last
-	// fence, the media content from before its first unfenced overwrite. At
-	// a crash each entry may be rolled back, modelling an in-flight flush
-	// that never reached the media.
-	pendingUndo map[int][]byte
+	// pending marks lines flushed (CLWB/NT) since the last fence. At a
+	// crash each pending line may be rolled back to its undo-arena content,
+	// modelling an in-flight flush that never reached the media.
+	pending *bitmap.Set
+	// undo is a flat arena holding, for every pending line l, the media
+	// content from before l's first unfenced overwrite at
+	// undo[l*LineSize:(l+1)*LineSize]. It grows geometrically up to the
+	// device size and is never shrunk, so the steady-state flush path
+	// performs no allocation. Bytes for non-pending lines are stale.
+	undo []byte
+	// pendLo/pendHi bound the pending lines (inclusive; pendHi < 0 means
+	// none), so per-fence accounting walks only the bitmap words that can
+	// hold pending bits instead of the whole device.
+	pendLo, pendHi int
+	// crashSkip is preallocated scratch marking, during Crash, the pending
+	// lines that were rolled back (and so must not be counted as media
+	// writes by accountPending).
+	crashSkip *bitmap.Set
 
 	clock *Clock
 	cost  CostModel
@@ -99,15 +112,17 @@ func NewDevice(size int, opts ...Option) *Device {
 	}
 	size = (size + LineSize - 1) / LineSize * LineSize
 	d := &Device{
-		size:        size,
-		media:       make([]byte, size),
-		working:     make([]byte, size),
-		dirty:       bitmap.New(size / LineSize),
-		pendingUndo: make(map[int][]byte),
-		clock:       NewClock(),
-		cost:        currentDefaultCostModel(),
-		failAfter:   -1,
+		size:      size,
+		media:     make([]byte, size),
+		working:   make([]byte, size),
+		dirty:     bitmap.New(size / LineSize),
+		pending:   bitmap.New(size / LineSize),
+		crashSkip: bitmap.New(size / LineSize),
+		clock:     NewClock(),
+		cost:      currentDefaultCostModel(),
+		failAfter: -1,
 	}
+	d.pendLo, d.pendHi = size/LineSize, -1
 	for _, o := range opts {
 		o(d)
 	}
@@ -148,12 +163,57 @@ func (d *Device) checkRange(off, n int) {
 
 func (d *Device) markDirty(off, n int) {
 	first, last := off/LineSize, (off+n-1)/LineSize
-	for l := first; l <= last; l++ {
-		d.dirty.Set(l)
-	}
+	d.dirty.SetRange(first, last+1)
 	if d.evictProb > 0 && d.evictRng.Float64() < d.evictProb {
 		d.evictLine(first)
 	}
+}
+
+// ensureUndo grows the undo arena (geometrically, capped at the device size)
+// until it covers line l. Steady state performs no allocation.
+func (d *Device) ensureUndo(l int) {
+	need := (l + 1) * LineSize
+	if need <= len(d.undo) {
+		return
+	}
+	newLen := len(d.undo) * 2
+	if newLen < 64*LineSize {
+		newLen = 64 * LineSize
+	}
+	for newLen < need {
+		newLen *= 2
+	}
+	if newLen > d.size {
+		newLen = d.size
+	}
+	grown := make([]byte, newLen)
+	copy(grown, d.undo)
+	d.undo = grown
+}
+
+// markPending records line l as flushed-but-unfenced, snapshotting its
+// pre-flush media content into the undo arena on the first unfenced flush.
+func (d *Device) markPending(l int) {
+	if d.pending.Set(l) {
+		if l < d.pendLo {
+			d.pendLo = l
+		}
+		if l > d.pendHi {
+			d.pendHi = l
+		}
+		d.ensureUndo(l)
+		base := l * LineSize
+		copy(d.undo[base:base+LineSize], d.media[base:base+LineSize])
+	}
+}
+
+// clearPending empties the pending set, touching only the bitmap words
+// inside the current pending window.
+func (d *Device) clearPending() {
+	if d.pendHi >= 0 {
+		d.pending.ClearRange(d.pendLo, d.pendHi+1)
+	}
+	d.pendLo, d.pendHi = d.size/LineSize, -1
 }
 
 // evictLine spontaneously writes one dirty line back to media, as a real
@@ -216,15 +276,30 @@ func (d *Device) NTStore(off int, src []byte) {
 	}
 	d.checkRange(off, n)
 	first, last := off/LineSize, (off+n-1)/LineSize
-	for l := first; l <= last; l++ {
-		if _, ok := d.pendingUndo[l]; !ok {
-			old := make([]byte, LineSize)
-			copy(old, d.media[l*LineSize:(l+1)*LineSize])
-			d.pendingUndo[l] = old
+	if d.pending.CountRange(first, last+1) == 0 {
+		// No line in the range is pending yet: snapshot the whole span into
+		// the undo arena and mark it pending with two word-granular range
+		// ops instead of a per-line loop.
+		d.ensureUndo(last)
+		copy(d.undo[first*LineSize:(last+1)*LineSize], d.media[first*LineSize:(last+1)*LineSize])
+		d.pending.SetRange(first, last+1)
+		if first < d.pendLo {
+			d.pendLo = first
 		}
-		// A line fully inside the write no longer has newer cached data.
-		if l*LineSize >= off && (l+1)*LineSize <= off+n {
-			d.dirty.Clear(l)
+		if last > d.pendHi {
+			d.pendHi = last
+		}
+		// Lines fully inside the write no longer have newer cached data.
+		if fc0, fc1 := (off+LineSize-1)/LineSize, (off+n)/LineSize; fc1 > fc0 {
+			d.dirty.ClearRange(fc0, fc1)
+		}
+	} else {
+		for l := first; l <= last; l++ {
+			d.markPending(l)
+			// A line fully inside the write no longer has newer cached data.
+			if l*LineSize >= off && (l+1)*LineSize <= off+n {
+				d.dirty.Clear(l)
+			}
 		}
 	}
 	copy(d.working[off:], src)
@@ -242,17 +317,17 @@ func (d *Device) NTStore(off int, src []byte) {
 func (d *Device) CLWB(off int) {
 	d.tick()
 	d.checkRange(off, 1)
-	l := off / LineSize
+	d.clwbLine(off / LineSize)
+}
+
+// clwbLine is the body of CLWB after range checking and failure injection.
+func (d *Device) clwbLine(l int) {
 	d.stats.CLWBs++
 	if !d.dirty.Test(l) {
 		d.clock.Advance(d.cost.CLWBPS / 10)
 		return
 	}
-	if _, ok := d.pendingUndo[l]; !ok {
-		old := make([]byte, LineSize)
-		copy(old, d.media[l*LineSize:(l+1)*LineSize])
-		d.pendingUndo[l] = old
-	}
+	d.markPending(l)
 	base := l * LineSize
 	copy(d.media[base:base+LineSize], d.working[base:base+LineSize])
 	d.dirty.Clear(l)
@@ -261,15 +336,37 @@ func (d *Device) CLWB(off int) {
 }
 
 // FlushRange issues CLWB for every cache line overlapping [off, off+n).
+// Clean lines are skipped at word granularity and the per-line costs are
+// charged in one batch, so flushing a large mostly-clean range touches only
+// its dirty lines; simulated time, stats, and crash semantics are identical
+// to a CLWB loop over the same lines.
 func (d *Device) FlushRange(off, n int) {
 	if n <= 0 {
 		return
 	}
 	d.checkRange(off, n)
 	first, last := off/LineSize, (off+n-1)/LineSize
-	for l := first; l <= last; l++ {
-		d.CLWB(l * LineSize)
+	if d.failAfter >= 0 {
+		// Failure injection counts every line flush as one primitive; keep
+		// the per-line tick so crash points land exactly as before.
+		for l := first; l <= last; l++ {
+			d.tick()
+			d.clwbLine(l)
+		}
+		return
 	}
+	total := int64(last - first + 1)
+	var flushed int64
+	for l := d.dirty.NextSetInRange(first, last+1); l >= 0; l = d.dirty.NextSetInRange(l+1, last+1) {
+		d.markPending(l)
+		base := l * LineSize
+		copy(d.media[base:base+LineSize], d.working[base:base+LineSize])
+		flushed++
+	}
+	d.dirty.ClearRange(first, last+1)
+	d.stats.CLWBs += total
+	d.stats.FlushedLines += flushed
+	d.clock.Advance(flushed*d.cost.CLWBPS + (total-flushed)*(d.cost.CLWBPS/10))
 }
 
 // SFence makes every pending (CLWB'd or NT-stored) line durable. Media write
@@ -278,26 +375,31 @@ func (d *Device) FlushRange(off, n int) {
 func (d *Device) SFence() {
 	d.tick()
 	d.stats.SFences++
-	d.clock.Advance(d.cost.SFencePS + int64(len(d.pendingUndo))*d.cost.SFenceLinePS)
+	d.clock.Advance(d.cost.SFencePS + int64(d.pending.Count())*d.cost.SFenceLinePS)
 	d.accountPending(nil)
 }
 
 // accountPending counts media writes for pending lines and clears the
 // pending set. If skip is non-nil, lines in skip were rolled back at a crash
-// and are not counted.
-func (d *Device) accountPending(skip map[int]bool) {
-	if len(d.pendingUndo) == 0 {
+// and are not counted. Pending lines are visited in ascending order, so
+// lines sharing a media chunk are adjacent and distinct chunks are counted
+// with a transition test instead of a per-fence map.
+func (d *Device) accountPending(skip *bitmap.Set) {
+	if !d.pending.Any() {
 		return
 	}
-	chunks := make(map[int]bool, len(d.pendingUndo))
-	for l := range d.pendingUndo {
-		if skip != nil && skip[l] {
-			continue
+	chunks, lastChunk := int64(0), -1
+	d.pending.ForEachInRange(d.pendLo, d.pendHi+1, func(l int) {
+		if skip != nil && skip.Test(l) {
+			return
 		}
-		chunks[l*LineSize/MediaGranularity] = true
-	}
-	d.stats.MediaWriteBytes += int64(len(chunks)) * MediaGranularity
-	d.pendingUndo = make(map[int][]byte)
+		if c := l * LineSize / MediaGranularity; c != lastChunk {
+			chunks++
+			lastChunk = c
+		}
+	})
+	d.stats.MediaWriteBytes += chunks * MediaGranularity
+	d.clearPending()
 }
 
 // WBINVD writes back and invalidates the entire cache: every dirty line and
@@ -309,19 +411,36 @@ func (d *Device) WBINVD() {
 	d.stats.WBINVDs++
 	nDirty := d.dirty.Count()
 	d.clock.Advance(d.cost.WBINVDPS + int64(nDirty)*d.cost.CLWBPS/2)
-	chunks := make(map[int]bool)
+	// Distinct media chunks across dirty ∪ pending, via an ascending
+	// two-pointer merge of the two bitmaps (no per-call map).
+	chunks, lastChunk := int64(0), -1
+	dl, pl := d.dirty.NextSet(0), d.pending.NextSet(0)
+	for dl >= 0 || pl >= 0 {
+		var l int
+		switch {
+		case pl < 0 || (dl >= 0 && dl <= pl):
+			l = dl
+			if dl == pl {
+				pl = d.pending.NextSet(pl + 1)
+			}
+			dl = d.dirty.NextSet(dl + 1)
+		default:
+			l = pl
+			pl = d.pending.NextSet(pl + 1)
+		}
+		if c := l * LineSize / MediaGranularity; c != lastChunk {
+			chunks++
+			lastChunk = c
+		}
+	}
 	d.dirty.ForEach(func(l int) {
 		base := l * LineSize
 		copy(d.media[base:base+LineSize], d.working[base:base+LineSize])
-		chunks[base/MediaGranularity] = true
 	})
 	d.stats.FlushedLines += int64(nDirty)
 	d.dirty.ClearAll()
-	for l := range d.pendingUndo {
-		chunks[l*LineSize/MediaGranularity] = true
-	}
-	d.pendingUndo = make(map[int][]byte)
-	d.stats.MediaWriteBytes += int64(len(chunks)) * MediaGranularity
+	d.clearPending()
+	d.stats.MediaWriteBytes += chunks * MediaGranularity
 }
 
 // DirtyLineCount returns the number of cache lines currently dirty.
@@ -331,21 +450,25 @@ func (d *Device) DirtyLineCount() int { return d.dirty.Count() }
 // independently either persisted to media or dropped, decided by rng. The
 // cache is then lost and the CPU view re-reads media. Returns the number of
 // unguaranteed lines that happened to persist.
+//
+// Lines are visited in ascending order, so for a fixed seed and identical
+// operation history the surviving subset is reproducible (a Go map walk here
+// would tie the outcome to map iteration order).
 func (d *Device) Crash(rng *rand.Rand) int {
 	persisted := 0
 	// In-flight flushes: roll back the losers to their pre-flush media
 	// content.
-	skip := make(map[int]bool)
-	for l, old := range d.pendingUndo {
+	d.crashSkip.ClearAll()
+	d.pending.ForEachInRange(d.pendLo, d.pendHi+1, func(l int) {
 		if rng.Intn(2) == 0 {
 			base := l * LineSize
-			copy(d.media[base:base+LineSize], old)
-			skip[l] = true
+			copy(d.media[base:base+LineSize], d.undo[base:base+LineSize])
+			d.crashSkip.Set(l)
 		} else {
 			persisted++
 		}
-	}
-	d.accountPending(skip)
+	})
+	d.accountPending(d.crashSkip)
 	// Dirty lines: random subset evicts to media.
 	d.dirty.ForEach(func(l int) {
 		if rng.Intn(2) == 0 {
@@ -363,11 +486,11 @@ func (d *Device) Crash(rng *rand.Rand) int {
 
 // CrashDropAll simulates the crash in which nothing unguaranteed persisted.
 func (d *Device) CrashDropAll() {
-	for l, old := range d.pendingUndo {
+	d.pending.ForEachInRange(d.pendLo, d.pendHi+1, func(l int) {
 		base := l * LineSize
-		copy(d.media[base:base+LineSize], old)
-	}
-	d.pendingUndo = make(map[int][]byte)
+		copy(d.media[base:base+LineSize], d.undo[base:base+LineSize])
+	})
+	d.clearPending()
 	d.dirty.ClearAll()
 	copy(d.working, d.media)
 }

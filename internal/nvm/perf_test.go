@@ -1,0 +1,161 @@
+package nvm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestSteadyStateZeroAllocs pins the steady-state device primitives at zero
+// allocations per operation. The undo arena and bitmaps are grown by the
+// warm-up pass; afterwards the hot loop must never touch the heap.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	const size = 1 << 20
+	d := NewDevice(size)
+	var buf [8]byte
+	nt := make([]byte, 4096)
+	// Warm up: dirty, flush, and fence the whole device once so every lazy
+	// structure (undo arena, bitmap words) reaches its final size.
+	for off := 0; off < size; off += LineSize {
+		d.Store(off, buf[:])
+	}
+	d.FlushRange(0, size)
+	d.SFence()
+	d.NTStore(0, nt)
+	d.SFence()
+
+	off := 0
+	for name, fn := range map[string]func(){
+		"Store": func() {
+			d.Store(off, buf[:])
+			off = (off + LineSize) % size
+		},
+		"Load": func() { d.Load(128, buf[:]) },
+		"CLWB": func() { d.CLWB(256) },
+		"SFence": func() {
+			d.SFence()
+		},
+		"FlushRange": func() { d.FlushRange(0, 4096) },
+		"NTStore":    func() { d.NTStore(8192, nt) },
+		"StoreFlushFence": func() {
+			d.Store(512, buf[:])
+			d.CLWB(512)
+			d.SFence()
+		},
+	} {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s: %.2f allocs/op in steady state, want 0", name, allocs)
+		}
+	}
+}
+
+// driveForCrash applies a fixed mixed store/flush/fence history so that at
+// the end both dirty and pending lines exist.
+func driveForCrash(seed int64) *Device {
+	d := NewDevice(1 << 14)
+	rng := rand.New(rand.NewSource(seed))
+	line := make([]byte, LineSize)
+	for i := 0; i < 800; i++ {
+		off := rng.Intn(d.Size() - 8)
+		d.Store(off, []byte{byte(i), byte(i >> 8)})
+		switch i % 5 {
+		case 0:
+			d.CLWB(off)
+		case 1:
+			d.FlushRange((off/LineSize)*LineSize, LineSize)
+		case 2:
+			d.NTStore((off/LineSize)*LineSize, line)
+		}
+		if i%13 == 0 {
+			d.SFence()
+		}
+	}
+	return d
+}
+
+// TestCrashDeterministicForFixedSeed is the regression test for the map-order
+// nondeterminism bug: two devices driven identically and crashed with the
+// same seed must land on byte-identical media (the old map[int][]byte pending
+// set made the persisted subset depend on Go map iteration order).
+func TestCrashDeterministicForFixedSeed(t *testing.T) {
+	for trial := int64(0); trial < 10; trial++ {
+		d1, d2 := driveForCrash(trial), driveForCrash(trial)
+		p1 := d1.Crash(rand.New(rand.NewSource(100 + trial)))
+		p2 := d2.Crash(rand.New(rand.NewSource(100 + trial)))
+		if p1 != p2 {
+			t.Fatalf("trial %d: persisted-line counts differ: %d vs %d", trial, p1, p2)
+		}
+		if !bytes.Equal(d1.MediaSnapshot(), d2.MediaSnapshot()) {
+			t.Fatalf("trial %d: post-crash media differs for identical histories and seed", trial)
+		}
+		if d1.Stats() != d2.Stats() {
+			t.Fatalf("trial %d: post-crash stats differ: %+v vs %+v", trial, d1.Stats(), d2.Stats())
+		}
+	}
+}
+
+// TestFlushRangeMatchesCLWBLoop checks the batched flush against the
+// primitive it replaces: same simulated clock, stats, and media for a mixed
+// dirty/clean range.
+func TestFlushRangeMatchesCLWBLoop(t *testing.T) {
+	build := func() *Device {
+		d := NewDevice(1 << 14)
+		for l := 0; l < 64; l += 3 {
+			d.Store(l*LineSize+7, []byte{byte(l)})
+		}
+		return d
+	}
+	a, b := build(), build()
+	a.FlushRange(0, 64*LineSize)
+	for l := 0; l < 64; l++ {
+		b.CLWB(l * LineSize)
+	}
+	if a.Clock().NowPS() != b.Clock().NowPS() {
+		t.Fatalf("clock diverged: batched %d ps, loop %d ps", a.Clock().NowPS(), b.Clock().NowPS())
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	a.SFence()
+	b.SFence()
+	if a.Clock().NowPS() != b.Clock().NowPS() || a.Stats() != b.Stats() {
+		t.Fatal("post-fence accounting diverged between batched and per-line flush")
+	}
+	if !bytes.Equal(a.MediaSnapshot(), b.MediaSnapshot()) {
+		t.Fatal("media diverged between batched and per-line flush")
+	}
+}
+
+// BenchmarkDeviceStoreFlushFence is the headline wall-clock number for this
+// simulator: an 8-line store burst, one batched flush, one fence — the shape
+// of a block flush inside the checkpoint protocols.
+func BenchmarkDeviceStoreFlushFence(b *testing.B) {
+	const size = 1 << 20
+	const span = 8 * LineSize
+	d := NewDevice(size)
+	var buf [8]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off := (i * span) & (size - span)
+		for l := 0; l < 8; l++ {
+			d.Store(off+l*LineSize, buf[:])
+		}
+		d.FlushRange(off, span)
+		d.SFence()
+	}
+}
+
+// BenchmarkNTStore4K tracks the non-temporal bulk-copy path used by
+// segment CoW and recovery resync.
+func BenchmarkNTStore4K(b *testing.B) {
+	const size = 1 << 20
+	d := NewDevice(size)
+	src := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off := (i * 4096) & (size - 4096)
+		d.NTStore(off, src)
+		d.SFence()
+	}
+}
