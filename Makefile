@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz results examples fmt vet clean
+.PHONY: all build test test-short race cover bench fuzz torture results examples fmt vet clean
 
 all: build test
 
@@ -28,6 +28,14 @@ fuzz:
 	$(GO) test -fuzz FuzzCrashNeverCorruptsFencedData -fuzztime 30s ./internal/nvm/
 	$(GO) test -fuzz FuzzReadDeviceFrom -fuzztime 30s ./internal/nvm/
 	$(GO) test -fuzz FuzzAllocFree -fuzztime 30s ./internal/alloc/
+	$(GO) test -fuzz FuzzRegionCheck -fuzztime 30s ./internal/region/
+
+# Exhaustive crash-consistency sweep: every crash point under every crash
+# policy in every container mode (see DESIGN.md §7).
+torture:
+	$(GO) test ./internal/torture/
+	$(GO) run ./cmd/crpmtorture
+	$(GO) run ./cmd/crpmtorture -adversarial -checksums=false
 
 # Regenerate every table and figure of the paper's evaluation.
 results:

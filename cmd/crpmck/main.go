@@ -3,15 +3,20 @@
 // invariants of a device image produced by Device.WriteMediaTo and reports
 // what epoch the container would recover to.
 //
+// With -repair, images whose metadata fails its checksums are rebuilt from
+// the redundant copy (see region.Repair) and the repaired image is written
+// back atomically; the report shows the check result before and after.
+//
 // Usage:
 //
-//	crpmck -img nvm.img -heap 67108864 [-segment 2097152] [-block 256] [-deep]
+//	crpmck -img nvm.img -heap 67108864 [-segment 2097152] [-block 256] [-deep] [-repair]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/region"
@@ -24,6 +29,7 @@ func main() {
 	block := flag.Int("block", 0, "block size (default 256B)")
 	ratio := flag.Float64("ratio", 1.0, "backup ratio")
 	deep := flag.Bool("deep", false, "also compare pair contents")
+	repair := flag.Bool("repair", false, "repair checksummed metadata from the redundant copy and rewrite the image")
 	flag.Parse()
 
 	if *img == "" || *heap <= 0 {
@@ -49,8 +55,57 @@ func main() {
 		os.Exit(1)
 	}
 	report := region.Check(dev, l, *deep)
+	if !*repair {
+		fmt.Print(report)
+		if !report.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("--- before repair ---")
 	fmt.Print(report)
-	if !report.OK() {
+	rep, err := region.Repair(dev, l)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repair: %v\n", err)
 		os.Exit(1)
 	}
+	fmt.Println("--- repair actions ---")
+	fmt.Print(rep)
+	after := region.Check(dev, l, *deep)
+	fmt.Println("--- after repair ---")
+	fmt.Print(after)
+	if !after.OK() {
+		fmt.Fprintln(os.Stderr, "image still inconsistent after repair; not rewriting")
+		os.Exit(1)
+	}
+	if err := rewriteImage(*img, dev); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("repaired image written to %s\n", *img)
+}
+
+// rewriteImage atomically replaces path with the device's durable media
+// contents: repairs are flushed cache-line stores, so the media image is the
+// repaired one. Write-to-temp plus rename keeps a crash mid-rewrite from
+// truncating the only copy of the image.
+func rewriteImage(path string, dev *nvm.Device) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".crpmck-*.img")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := dev.WriteMediaTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -116,6 +116,10 @@ type Options struct {
 	Mode Mode
 	// Concurrent allows multiple goroutines to write the container.
 	Concurrent bool
+	// Checksums guards the persistent metadata with CRC64s and a
+	// self-repairing shadow copy (format v2). Sticky on media:
+	// OpenStore auto-detects it regardless of this flag.
+	Checksums bool
 }
 
 func (o Options) containerOptions() core.Options {
@@ -125,6 +129,7 @@ func (o Options) containerOptions() core.Options {
 			SegmentSize: o.SegmentSize,
 			BlockSize:   o.BlockSize,
 			BackupRatio: o.BackupRatio,
+			Checksums:   o.Checksums,
 		},
 		Mode:       o.Mode,
 		Concurrent: o.Concurrent,
@@ -134,12 +139,7 @@ func (o Options) containerOptions() core.Options {
 // DeviceSize returns the NVM capacity the options require (metadata + main
 // + backup regions).
 func (o Options) DeviceSize() (int, error) {
-	l, err := region.NewLayout(region.Config{
-		HeapSize:    o.HeapSize,
-		SegmentSize: o.SegmentSize,
-		BlockSize:   o.BlockSize,
-		BackupRatio: o.BackupRatio,
-	})
+	l, err := region.NewLayout(o.containerOptions().Region)
 	if err != nil {
 		return 0, err
 	}

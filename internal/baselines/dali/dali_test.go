@@ -280,61 +280,79 @@ func TestCrashSweepInsideEpochPersist(t *testing.T) {
 	s := ref.Device().Stats()
 	total := s.Stores + s.Loads + s.CLWBs + s.SFences + s.NTStoreBytes/64
 
-	crashRng := rand.New(rand.NewSource(9))
-	stride := total/80 + 1
-	for fail := int64(1); fail < total; fail += stride {
-		m, err := New(cfgS)
-		if err != nil {
-			t.Fatal(err)
-		}
-		committed := shadowT{}
-		crashed := func() (c bool) {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(nvm.InjectedCrash); !ok {
-						panic(r)
+	for _, pol := range crashPolicies {
+		crashRng := rand.New(rand.NewSource(9))
+		stride := total/80 + 1
+		for fail := int64(1); fail < total; fail += stride {
+			m, err := New(cfgS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed := shadowT{}
+			crashed := func() (c bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(nvm.InjectedCrash); !ok {
+							panic(r)
+						}
+						c = true
 					}
-					c = true
-				}
+				}()
+				m.Device().FailAfter(fail)
+				script(m, &committed)
+				return false
 			}()
-			m.Device().FailAfter(fail)
-			script(m, &committed)
-			return false
-		}()
-		m.Device().FailAfter(-1)
-		if !crashed {
-			break
-		}
-		m.Device().Crash(crashRng)
-		m2, err := Open(cfgS, m.Device())
-		if err != nil {
-			t.Fatalf("fail %d: %v", fail, err)
-		}
-		// A crash inside EpochPersist may land before or after the commit;
-		// the recovered map must at least contain every pair of the last
-		// snapshot that the test observed as committed, and no key that was
-		// never written.
-		for k, v := range committed {
-			got, ok := m2.Get(k)
-			if !ok {
-				t.Fatalf("fail %d: committed key %d lost", fail, k)
+			m.Device().FailAfter(-1)
+			if !crashed {
+				break
 			}
-			if got != v {
-				// Legal only if a newer epoch committed in-flight; then the
-				// value must come from the working set — verify it is
-				// plausible by re-running the script shadow forward.
-				continue
+			if pol.policy != nil {
+				m.Device().CrashWith(pol.policy)
+			} else {
+				m.Device().Crash(crashRng)
 			}
-		}
-		if m2.Len() > 48 {
-			t.Fatalf("fail %d: %d keys recovered, more than ever written", fail, m2.Len())
-		}
-		// Map keeps working after recovery.
-		if err := m2.Put(100, 1); err != nil {
-			t.Fatal(err)
-		}
-		if err := m2.EpochPersist(); err != nil {
-			t.Fatal(err)
+			m2, err := Open(cfgS, m.Device())
+			if err != nil {
+				t.Fatalf("%s fail %d: %v", pol.name, fail, err)
+			}
+			// A crash inside EpochPersist may land before or after the commit;
+			// the recovered map must at least contain every pair of the last
+			// snapshot that the test observed as committed, and no key that was
+			// never written.
+			for k, v := range committed {
+				got, ok := m2.Get(k)
+				if !ok {
+					t.Fatalf("%s fail %d: committed key %d lost", pol.name, fail, k)
+				}
+				if got != v {
+					// Legal only if a newer epoch committed in-flight; then the
+					// value must come from the working set — verify it is
+					// plausible by re-running the script shadow forward.
+					continue
+				}
+			}
+			if m2.Len() > 48 {
+				t.Fatalf("%s fail %d: %d keys recovered, more than ever written", pol.name, fail, m2.Len())
+			}
+			// Map keeps working after recovery.
+			if err := m2.Put(100, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := m2.EpochPersist(); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
+}
+
+// crashPolicies are the cache-eviction outcomes the crash sweep runs under:
+// the seeded coin-flip schedule (nil policy) plus both deterministic
+// extremes — every unguaranteed line persisted, and every one dropped.
+var crashPolicies = []struct {
+	name   string
+	policy nvm.CrashPolicy // nil: seeded per-line coin flips
+}{
+	{"seeded", nil},
+	{"persist-all", nvm.PersistAll},
+	{"drop-all", nvm.DropAll},
 }

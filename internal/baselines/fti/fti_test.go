@@ -24,6 +24,18 @@ func configs(size int) []Config {
 	return []Config{{HeapSize: size}, {HeapSize: size, Incremental: true}}
 }
 
+// crashPolicies are the cache-eviction outcomes every crash sweep runs
+// under: the seeded coin-flip schedule (nil policy) plus both deterministic
+// extremes — every unguaranteed line persisted, and every one dropped.
+var crashPolicies = []struct {
+	name   string
+	policy nvm.CrashPolicy // nil: seeded per-line coin flips
+}{
+	{"seeded", nil},
+	{"persist-all", nvm.PersistAll},
+	{"drop-all", nvm.DropAll},
+}
+
 func TestCheckpointCrashRecover(t *testing.T) {
 	for _, cfg := range configs(32 * 1024) {
 		b, err := New(cfg)
@@ -52,50 +64,56 @@ func TestCheckpointCrashRecover(t *testing.T) {
 
 func TestDoubleBufferSurvivesCrashMidCheckpoint(t *testing.T) {
 	for _, cfg := range configs(32 * 1024) {
-		rng := rand.New(rand.NewSource(17))
-		for fail := int64(10); fail < 1200; fail += 53 {
-			b, err := New(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			shadows := map[uint32][]byte{0: make([]byte, b.Size())}
-			epoch := uint32(0)
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						if _, ok := r.(nvm.InjectedCrash); !ok {
-							panic(r)
+		for _, pol := range crashPolicies {
+			rng := rand.New(rand.NewSource(17))
+			for fail := int64(10); fail < 1200; fail += 53 {
+				b, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				shadows := map[uint32][]byte{0: make([]byte, b.Size())}
+				epoch := uint32(0)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(nvm.InjectedCrash); !ok {
+								panic(r)
+							}
 						}
+					}()
+					b.Device().FailAfter(fail)
+					for i := 0; i < 30; i++ {
+						if i%7 == 6 {
+							snap := make([]byte, b.Size())
+							copy(snap, b.Bytes())
+							shadows[epoch+1] = snap
+							if err := b.Checkpoint(); err != nil {
+								panic(err)
+							}
+							epoch++
+							continue
+						}
+						writeU64(b, (i*512)%(b.Size()-8), uint64(i+1))
 					}
 				}()
-				b.Device().FailAfter(fail)
-				for i := 0; i < 30; i++ {
-					if i%7 == 6 {
-						snap := make([]byte, b.Size())
-						copy(snap, b.Bytes())
-						shadows[epoch+1] = snap
-						if err := b.Checkpoint(); err != nil {
-							panic(err)
-						}
-						epoch++
-						continue
-					}
-					writeU64(b, (i*512)%(b.Size()-8), uint64(i+1))
+				b.Device().FailAfter(-1)
+				if pol.policy != nil {
+					b.Device().CrashWith(pol.policy)
+				} else {
+					b.Device().Crash(rng)
 				}
-			}()
-			b.Device().FailAfter(-1)
-			b.Device().Crash(rng)
-			b2, err := Open(cfg, b.Device())
-			if err != nil {
-				t.Fatal(err)
-			}
-			e, _ := b2.commit()
-			want, ok := shadows[e]
-			if !ok {
-				t.Fatalf("%s fail %d: recovered to unseen epoch %d", b.Name(), fail, e)
-			}
-			if !bytes.Equal(b2.Bytes(), want) {
-				t.Fatalf("%s fail %d: recovered state differs from epoch %d", b.Name(), fail, e)
+				b2, err := Open(cfg, b.Device())
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, _ := b2.commit()
+				want, ok := shadows[e]
+				if !ok {
+					t.Fatalf("%s/%s fail %d: recovered to unseen epoch %d", b.Name(), pol.name, fail, e)
+				}
+				if !bytes.Equal(b2.Bytes(), want) {
+					t.Fatalf("%s/%s fail %d: recovered state differs from epoch %d", b.Name(), pol.name, fail, e)
+				}
 			}
 		}
 	}

@@ -139,52 +139,70 @@ func TestRandomizedCrashRecovery(t *testing.T) {
 
 func TestCrashSweepInsideProtocol(t *testing.T) {
 	size := 16 * 1024
-	rng := rand.New(rand.NewSource(5))
-	for fail := int64(5); fail < 2500; fail += 31 {
-		b, err := New(size)
-		if err != nil {
-			t.Fatal(err)
-		}
-		shadows := map[uint64][]byte{0: make([]byte, size)}
-		epoch := uint64(0)
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(nvm.InjectedCrash); !ok {
-						panic(r)
+	for _, pol := range crashPolicies {
+		rng := rand.New(rand.NewSource(5))
+		for fail := int64(5); fail < 2500; fail += 31 {
+			b, err := New(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shadows := map[uint64][]byte{0: make([]byte, size)}
+			epoch := uint64(0)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(nvm.InjectedCrash); !ok {
+							panic(r)
+						}
 					}
+				}()
+				b.Device().FailAfter(fail)
+				for i := 0; i < 40; i++ {
+					if i%9 == 8 {
+						snap := make([]byte, size)
+						copy(snap, b.Bytes())
+						shadows[epoch+1] = snap
+						if err := b.Checkpoint(); err != nil {
+							panic(err)
+						}
+						epoch++
+						continue
+					}
+					writeU64(b, (i*264)%(size-8), uint64(i+1))
 				}
 			}()
-			b.Device().FailAfter(fail)
-			for i := 0; i < 40; i++ {
-				if i%9 == 8 {
-					snap := make([]byte, size)
-					copy(snap, b.Bytes())
-					shadows[epoch+1] = snap
-					if err := b.Checkpoint(); err != nil {
-						panic(err)
-					}
-					epoch++
-					continue
-				}
-				writeU64(b, (i*264)%(size-8), uint64(i+1))
+			b.Device().FailAfter(-1)
+			if pol.policy != nil {
+				b.Device().CrashWith(pol.policy)
+			} else {
+				b.Device().Crash(rng)
 			}
-		}()
-		b.Device().FailAfter(-1)
-		b.Device().Crash(rng)
-		b2, err := Open(size, b.Device())
-		if err != nil {
-			t.Fatal(err)
-		}
-		e := b2.committed()
-		want, ok := shadows[e]
-		if !ok {
-			t.Fatalf("fail %d: recovered to unseen epoch %d", fail, e)
-		}
-		if !bytes.Equal(b2.Bytes(), want) {
-			t.Fatalf("fail %d: recovered state differs from epoch %d", fail, e)
+			b2, err := Open(size, b.Device())
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := b2.committed()
+			want, ok := shadows[e]
+			if !ok {
+				t.Fatalf("%s fail %d: recovered to unseen epoch %d", pol.name, fail, e)
+			}
+			if !bytes.Equal(b2.Bytes(), want) {
+				t.Fatalf("%s fail %d: recovered state differs from epoch %d", pol.name, fail, e)
+			}
 		}
 	}
+}
+
+// crashPolicies are the cache-eviction outcomes the crash sweep runs under:
+// the seeded coin-flip schedule (nil policy) plus both deterministic
+// extremes — every unguaranteed line persisted, and every one dropped.
+var crashPolicies = []struct {
+	name   string
+	policy nvm.CrashPolicy // nil: seeded per-line coin flips
+}{
+	{"seeded", nil},
+	{"persist-all", nvm.PersistAll},
+	{"drop-all", nvm.DropAll},
 }
 
 func TestOpenRejectsBadDevice(t *testing.T) {

@@ -138,54 +138,72 @@ func TestMprotectWriteAmplification(t *testing.T) {
 
 func TestRandomizedCrashSweep(t *testing.T) {
 	cfg := mprotectCfg(32 * 1024)
-	rng := rand.New(rand.NewSource(3))
-	for trial := 0; trial < 15; trial++ {
-		b, err := New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		shadows := map[uint64][]byte{0: make([]byte, b.Size())}
-		epoch := uint64(0)
-		steps := rng.Intn(60) + 10
-		failAt := int64(rng.Intn(2000) + 1)
-		b.Device().FailAfter(failAt)
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(nvm.InjectedCrash); !ok {
-						panic(r)
+	for _, pol := range crashPolicies {
+		rng := rand.New(rand.NewSource(3))
+		for trial := 0; trial < 15; trial++ {
+			b, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shadows := map[uint64][]byte{0: make([]byte, b.Size())}
+			epoch := uint64(0)
+			steps := rng.Intn(60) + 10
+			failAt := int64(rng.Intn(2000) + 1)
+			b.Device().FailAfter(failAt)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(nvm.InjectedCrash); !ok {
+							panic(r)
+						}
 					}
+				}()
+				for i := 0; i < steps; i++ {
+					if i%9 == 8 {
+						snap := make([]byte, b.Size())
+						copy(snap, b.Bytes())
+						shadows[epoch+1] = snap
+						if err := b.Checkpoint(); err != nil {
+							panic(err)
+						}
+						epoch++
+						continue
+					}
+					writeU64(b, rng.Intn(b.Size()/8-1)*8, rng.Uint64())
 				}
 			}()
-			for i := 0; i < steps; i++ {
-				if i%9 == 8 {
-					snap := make([]byte, b.Size())
-					copy(snap, b.Bytes())
-					shadows[epoch+1] = snap
-					if err := b.Checkpoint(); err != nil {
-						panic(err)
-					}
-					epoch++
-					continue
-				}
-				writeU64(b, rng.Intn(b.Size()/8-1)*8, rng.Uint64())
+			b.Device().FailAfter(-1)
+			if pol.policy != nil {
+				b.Device().CrashWith(pol.policy)
+			} else {
+				b.Device().Crash(rng)
 			}
-		}()
-		b.Device().FailAfter(-1)
-		b.Device().Crash(rng)
-		b2, err := Open(cfg, b.Device())
-		if err != nil {
-			t.Fatal(err)
-		}
-		e := binary.LittleEndian.Uint64(b.Device().Working()[offCommitted:])
-		want, ok := shadows[e]
-		if !ok {
-			t.Fatalf("trial %d: recovered to unseen epoch %d", trial, e)
-		}
-		if !bytes.Equal(b2.Bytes(), want) {
-			t.Fatalf("trial %d: recovered state differs from epoch %d", trial, e)
+			b2, err := Open(cfg, b.Device())
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := binary.LittleEndian.Uint64(b.Device().Working()[offCommitted:])
+			want, ok := shadows[e]
+			if !ok {
+				t.Fatalf("%s trial %d: recovered to unseen epoch %d", pol.name, trial, e)
+			}
+			if !bytes.Equal(b2.Bytes(), want) {
+				t.Fatalf("%s trial %d: recovered state differs from epoch %d", pol.name, trial, e)
+			}
 		}
 	}
+}
+
+// crashPolicies are the cache-eviction outcomes the crash sweep runs under:
+// the seeded coin-flip schedule (nil policy) plus both deterministic
+// extremes — every unguaranteed line persisted, and every one dropped.
+var crashPolicies = []struct {
+	name   string
+	policy nvm.CrashPolicy // nil: seeded per-line coin flips
+}{
+	{"seeded", nil},
+	{"persist-all", nvm.PersistAll},
+	{"drop-all", nvm.DropAll},
 }
 
 func TestOpenRejectsBadDevice(t *testing.T) {

@@ -63,6 +63,9 @@ func (c *Container) checkpointDefault() error {
 	if c.opts.EagerCoWSegments >= 0 && c.dirtySegs.Count() > 0 && c.dirtySegs.Count() < c.opts.EagerCoWSegments {
 		c.eagerCoW(neIdx)
 	}
+	// With metadata checksums, the epoch's last metadata mutation is behind
+	// us: re-seal so the whole-structure CRCs become authoritative again.
+	c.meta.Seal()
 	c.dirtySegs.ClearAll()
 	c.metrics.Epochs++
 	return nil
@@ -201,6 +204,7 @@ func (c *Container) checkpointBuffered() error {
 	c.dev.SFence()
 	c.meta.SetCommittedEpoch(e + 1)
 	c.dev.SFence()
+	c.meta.Seal()
 
 	c.curDirty.ClearAll()
 	c.dirtySegs.ClearAll()

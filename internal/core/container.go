@@ -60,6 +60,11 @@ type Options struct {
 	// lock so multiple application threads may share the container. The
 	// protocol's per-segment locks are used either way.
 	Concurrent bool
+	// NoAutoRepair disables the automatic region.Repair attempt when Open
+	// detects corrupt checksummed metadata; the typed error is surfaced
+	// instead. Useful for fsck-style tooling that wants to report before
+	// repairing.
+	NoAutoRepair bool
 }
 
 func (o Options) withDefaults() Options {
@@ -164,8 +169,31 @@ func OpenContainerDeferRecovery(dev *nvm.Device, opts Options) (*Container, erro
 		return nil, err
 	}
 	meta, err := region.Open(dev, l)
+	if err != nil && opts.Region.Checksums && !opts.NoAutoRepair {
+		// The header itself may be the corrupt line; with checksums enabled
+		// it is reconstructible from the shadow copy.
+		if _, rerr := region.Repair(dev, l); rerr != nil {
+			return nil, fmt.Errorf("%w: open failed (%v); repair failed: %v", ErrUnrecoverable, err, rerr)
+		}
+		if meta, err = region.Open(dev, l); err != nil {
+			return nil, fmt.Errorf("%w: open still failing after repair: %v", ErrUnrecoverable, err)
+		}
+	}
 	if err != nil {
 		return nil, err
+	}
+	if l.Checksummed() {
+		if verr := region.Validate(dev, l); verr != nil {
+			if opts.NoAutoRepair {
+				return nil, fmt.Errorf("%w: %v", ErrCorruptMetadata, verr)
+			}
+			if _, rerr := region.Repair(dev, l); rerr != nil {
+				return nil, fmt.Errorf("%w: %v", ErrUnrecoverable, rerr)
+			}
+			if verr := region.Validate(dev, l); verr != nil {
+				return nil, fmt.Errorf("%w: still invalid after repair: %v", ErrUnrecoverable, verr)
+			}
+		}
 	}
 	c := newContainer(dev, meta, l, opts)
 	if opts.Mode == ModeBuffered {

@@ -1,0 +1,16 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorruptMetadata means the container's checksummed metadata failed
+// validation at Open/Recover. If automatic repair is enabled (the default)
+// it is only returned when repair was not attempted or not applicable.
+var ErrCorruptMetadata = errors.New("core: corrupt container metadata")
+
+// ErrUnrecoverable means corruption was detected AND could not be repaired
+// from the redundant metadata copy: the container must not be trusted.
+// errors.Is(err, ErrCorruptMetadata) also holds for unrecoverable errors.
+var ErrUnrecoverable = fmt.Errorf("%w: unrecoverable", ErrCorruptMetadata)

@@ -71,6 +71,10 @@ func (c *Container) Recover() error {
 	}
 	c.dev.SFence()
 	c.metrics.RecoveryBytes += restored
+	// Recovery is a quiescent point: re-seal the metadata checksums (no-op
+	// for plain containers). Covers crash-interrupted epochs and the
+	// coordinated-recovery rollback, both of which leave the image unsealed.
+	c.meta.Seal()
 
 	// Volatile protocol state restarts empty; pairings reload from the
 	// persistent mapping array.

@@ -56,27 +56,79 @@ type Device struct {
 	// panics with InjectedCrash, letting tests place a crash at any point
 	// inside a protocol.
 	failAfter int64
+	// primCount counts every primitive ever executed (stores, loads,
+	// per-line flushes, fences), at exactly the granularity the failure
+	// injection ticks at. A reference run's final count therefore bounds
+	// the crash points a torture sweep must visit, and replaying with
+	// FailAfter(k) for k < PrimitiveCount() crashes at primitive k+1.
+	primCount int64
+}
+
+// OpKind classifies the device primitive at which an injected crash fired.
+type OpKind uint8
+
+const (
+	// OpStore is a cached store (Store, StoreBulk) or a non-temporal store.
+	OpStore OpKind = iota
+	// OpLoad is a small load.
+	OpLoad
+	// OpFlush is a cache-line write-back (CLWB, one line of FlushRange, or
+	// WBINVD).
+	OpFlush
+	// OpFence is a store fence.
+	OpFence
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpStore:
+		return "store"
+	case OpLoad:
+		return "load"
+	case OpFlush:
+		return "flush"
+	case OpFence:
+		return "fence"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
 }
 
 // InjectedCrash is the panic value raised when a FailAfter countdown
-// expires. Tests recover it, call Crash, and reopen the container.
-type InjectedCrash struct{}
+// expires. Tests recover it, call Crash (or CrashWith), and reopen the
+// container. Index and Kind identify the exact primitive the crash fired
+// on, so a torture failure is replayable from the panic value alone:
+// FailAfter(Index-1) on an identical run crashes at the same point.
+type InjectedCrash struct {
+	// Index is the 1-based primitive count at the crash point.
+	Index int64
+	// Kind is the primitive class the crash interrupted.
+	Kind OpKind
+}
 
 // Error implements error.
-func (InjectedCrash) Error() string { return "nvm: injected crash point reached" }
+func (c InjectedCrash) Error() string {
+	return fmt.Sprintf("nvm: injected crash at primitive %d (%s)", c.Index, c.Kind)
+}
 
 // FailAfter schedules an InjectedCrash panic after n more primitives
 // (stores, loads, flushes, fences). n < 0 disables injection.
 func (d *Device) FailAfter(n int64) { d.failAfter = n }
 
-// tick advances the failure-injection countdown.
-func (d *Device) tick() {
+// PrimitiveCount returns the number of primitives executed so far, at the
+// same granularity FailAfter counts them.
+func (d *Device) PrimitiveCount() int64 { return d.primCount }
+
+// tick advances the primitive counter and the failure-injection countdown.
+func (d *Device) tick(kind OpKind) {
+	d.primCount++
 	if d.failAfter < 0 {
 		return
 	}
 	if d.failAfter == 0 {
 		d.failAfter = -1
-		panic(InjectedCrash{})
+		panic(InjectedCrash{Index: d.primCount, Kind: kind})
 	}
 	d.failAfter--
 }
@@ -232,7 +284,7 @@ func (d *Device) evictLine(l int) {
 
 // Store writes a small value (typically <= 8 bytes) through the cache.
 func (d *Device) Store(off int, src []byte) {
-	d.tick()
+	d.tick(OpStore)
 	d.checkRange(off, len(src))
 	copy(d.working[off:], src)
 	d.markDirty(off, len(src))
@@ -243,7 +295,7 @@ func (d *Device) Store(off int, src []byte) {
 // StoreBulk writes a larger buffer through the cache, charged at DRAM-copy
 // bandwidth (the data lands in cache, not yet in media).
 func (d *Device) StoreBulk(off int, src []byte) {
-	d.tick()
+	d.tick(OpStore)
 	if len(src) == 0 {
 		return
 	}
@@ -256,7 +308,7 @@ func (d *Device) StoreBulk(off int, src []byte) {
 
 // Load reads a small value, charging one load.
 func (d *Device) Load(off int, dst []byte) {
-	d.tick()
+	d.tick(OpLoad)
 	d.checkRange(off, len(dst))
 	copy(dst, d.working[off:])
 	d.stats.Loads++
@@ -269,7 +321,7 @@ func (d *Device) Load(off int, dst []byte) {
 // write bandwidth; this models the AVX-512 non-temporal copy path the paper
 // uses for segment and block copies.
 func (d *Device) NTStore(off int, src []byte) {
-	d.tick()
+	d.tick(OpStore)
 	n := len(src)
 	if n == 0 {
 		return
@@ -315,7 +367,7 @@ func (d *Device) NTStore(off int, src []byte) {
 // crash-guaranteed until the next SFence. Flushing a clean line costs a
 // fraction of a dirty flush and moves no data.
 func (d *Device) CLWB(off int) {
-	d.tick()
+	d.tick(OpFlush)
 	d.checkRange(off, 1)
 	d.clwbLine(off / LineSize)
 }
@@ -350,12 +402,16 @@ func (d *Device) FlushRange(off, n int) {
 		// Failure injection counts every line flush as one primitive; keep
 		// the per-line tick so crash points land exactly as before.
 		for l := first; l <= last; l++ {
-			d.tick()
+			d.tick(OpFlush)
 			d.clwbLine(l)
 		}
 		return
 	}
 	total := int64(last - first + 1)
+	// The batched path skips the per-line tick; keep the primitive counter
+	// identical to the injection path so sweep replays land crash points at
+	// the same indices a counting run reported.
+	d.primCount += total
 	var flushed int64
 	for l := d.dirty.NextSetInRange(first, last+1); l >= 0; l = d.dirty.NextSetInRange(l+1, last+1) {
 		d.markPending(l)
@@ -373,7 +429,7 @@ func (d *Device) FlushRange(off, n int) {
 // accounting happens here at 256-byte granularity: adjacent lines flushed in
 // the same fence epoch coalesce into one media write.
 func (d *Device) SFence() {
-	d.tick()
+	d.tick(OpFence)
 	d.stats.SFences++
 	d.clock.Advance(d.cost.SFencePS + int64(d.pending.Count())*d.cost.SFenceLinePS)
 	d.accountPending(nil)
@@ -407,7 +463,7 @@ func (d *Device) accountPending(skip *bitmap.Set) {
 // path the checkpoint protocol chooses when the dirty set exceeds the LLC
 // size (§3.4.2).
 func (d *Device) WBINVD() {
-	d.tick()
+	d.tick(OpFlush)
 	d.stats.WBINVDs++
 	nDirty := d.dirty.Count()
 	d.clock.Advance(d.cost.WBINVDPS + int64(nDirty)*d.cost.CLWBPS/2)
@@ -446,32 +502,34 @@ func (d *Device) WBINVD() {
 // DirtyLineCount returns the number of cache lines currently dirty.
 func (d *Device) DirtyLineCount() int { return d.dirty.Count() }
 
-// Crash simulates a power failure: every line that is dirty or pending is
-// independently either persisted to media or dropped, decided by rng. The
-// cache is then lost and the CPU view re-reads media. Returns the number of
-// unguaranteed lines that happened to persist.
+// CrashWith simulates a power failure under an explicit CrashPolicy: the
+// policy decides, line by line, whether each in-flight flush completed and
+// whether each dirty line happened to evict. The cache is then lost and the
+// CPU view re-reads media. Returns the number of unguaranteed lines that
+// persisted.
 //
-// Lines are visited in ascending order, so for a fixed seed and identical
-// operation history the surviving subset is reproducible (a Go map walk here
-// would tie the outcome to map iteration order).
-func (d *Device) Crash(rng *rand.Rand) int {
+// Lines are visited in ascending order (pending first, then dirty), so a
+// deterministic policy — or a seeded one over an identical operation
+// history — produces a reproducible crash image (a Go map walk here would
+// tie the outcome to map iteration order).
+func (d *Device) CrashWith(p CrashPolicy) int {
 	persisted := 0
 	// In-flight flushes: roll back the losers to their pre-flush media
 	// content.
 	d.crashSkip.ClearAll()
 	d.pending.ForEachInRange(d.pendLo, d.pendHi+1, func(l int) {
-		if rng.Intn(2) == 0 {
+		if p.Persist(l, LinePending) {
+			persisted++
+		} else {
 			base := l * LineSize
 			copy(d.media[base:base+LineSize], d.undo[base:base+LineSize])
 			d.crashSkip.Set(l)
-		} else {
-			persisted++
 		}
 	})
 	d.accountPending(d.crashSkip)
-	// Dirty lines: random subset evicts to media.
+	// Dirty lines: the policy's chosen subset evicts to media.
 	d.dirty.ForEach(func(l int) {
-		if rng.Intn(2) == 0 {
+		if p.Persist(l, LineDirty) {
 			base := l * LineSize
 			copy(d.media[base:base+LineSize], d.working[base:base+LineSize])
 			d.stats.MediaWriteBytes += MediaGranularity
@@ -484,27 +542,52 @@ func (d *Device) Crash(rng *rand.Rand) int {
 	return persisted
 }
 
+// Crash simulates a power failure in which every line that is dirty or
+// pending independently either persists to media or vanishes, decided by
+// rng (the classic seeded coin-flip schedule).
+func (d *Device) Crash(rng *rand.Rand) int { return d.CrashWith(SeededCrash(rng)) }
+
 // CrashDropAll simulates the crash in which nothing unguaranteed persisted.
-func (d *Device) CrashDropAll() {
-	d.pending.ForEachInRange(d.pendLo, d.pendHi+1, func(l int) {
-		base := l * LineSize
-		copy(d.media[base:base+LineSize], d.undo[base:base+LineSize])
-	})
-	d.clearPending()
-	d.dirty.ClearAll()
-	copy(d.working, d.media)
-}
+func (d *Device) CrashDropAll() { d.CrashWith(DropAll) }
 
 // CrashPersistAll simulates the crash in which every written line persisted.
-func (d *Device) CrashPersistAll() {
-	d.accountPending(nil)
-	d.dirty.ForEach(func(l int) {
-		base := l * LineSize
-		copy(d.media[base:base+LineSize], d.working[base:base+LineSize])
-		d.stats.MediaWriteBytes += MediaGranularity
-	})
-	d.dirty.ClearAll()
-	copy(d.working, d.media)
+func (d *Device) CrashPersistAll() { d.CrashWith(PersistAll) }
+
+// CorruptRange injects a media fault: every media byte in [off, off+n) is
+// bit-flipped, modelling at-rest corruption (bit rot, a failed media cell,
+// a misdirected write). The CPU-visible view of the range is refreshed —
+// this is what a restart would read — and any cached dirty content for the
+// affected lines is discarded, as the fault model targets quiescent images
+// rather than in-flight traffic.
+func (d *Device) CorruptRange(off, n int) {
+	if n <= 0 {
+		return
+	}
+	d.checkRange(off, n)
+	for i := off; i < off+n; i++ {
+		d.media[i] ^= 0xff
+	}
+	copy(d.working[off:off+n], d.media[off:off+n])
+	first, last := off/LineSize, (off+n-1)/LineSize
+	d.dirty.ClearRange(first, last+1)
+}
+
+// TornWrite injects a torn media write at the device's internal write
+// granularity: the 256-byte media chunk containing off receives the current
+// cached (working) content for its first cut bytes, while the tail keeps
+// the old media content — the state an interrupted media program operation
+// can leave behind. The whole chunk then reads back from media (cache
+// contents for it are discarded), as after the power failure that tore the
+// write. cut must be in [0, MediaGranularity].
+func (d *Device) TornWrite(off, cut int) {
+	if cut < 0 || cut > MediaGranularity {
+		panic(fmt.Sprintf("nvm: torn-write cut %d outside [0,%d]", cut, MediaGranularity))
+	}
+	chunk := off / MediaGranularity * MediaGranularity
+	d.checkRange(chunk, MediaGranularity)
+	copy(d.media[chunk:chunk+cut], d.working[chunk:chunk+cut])
+	copy(d.working[chunk:chunk+MediaGranularity], d.media[chunk:chunk+MediaGranularity])
+	d.dirty.ClearRange(chunk/LineSize, (chunk+MediaGranularity)/LineSize)
 }
 
 // ChargeHook charges one instrumented write-hook invocation to the clock.

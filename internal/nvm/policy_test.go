@@ -1,0 +1,245 @@
+package nvm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// drive applies a fixed mixed workload leaving fenced, pending, and dirty
+// lines behind: [0,256) fenced, [256,512) flushed-unfenced, [512,768) dirty.
+func drive(d *Device) {
+	buf := make([]byte, 256)
+	for i := range buf {
+		buf[i] = 0xAA
+	}
+	d.StoreBulk(0, buf)
+	d.FlushRange(0, 256)
+	d.SFence() // fenced: guaranteed
+	for i := range buf {
+		buf[i] = 0xBB
+	}
+	d.StoreBulk(256, buf)
+	d.FlushRange(256, 256) // pending: in flight
+	for i := range buf {
+		buf[i] = 0xCC
+	}
+	d.StoreBulk(512, buf) // dirty: never flushed
+}
+
+func TestCrashWithDropAll(t *testing.T) {
+	d := NewDevice(4096)
+	drive(d)
+	if n := d.CrashWith(DropAll); n != 0 {
+		t.Fatalf("DropAll persisted %d lines", n)
+	}
+	w := d.Working()
+	for i := 0; i < 256; i++ {
+		if w[i] != 0xAA {
+			t.Fatalf("fenced byte %d lost (%#x)", i, w[i])
+		}
+	}
+	for i := 256; i < 768; i++ {
+		if w[i] != 0 {
+			t.Fatalf("unguaranteed byte %d survived DropAll (%#x)", i, w[i])
+		}
+	}
+}
+
+func TestCrashWithPersistAll(t *testing.T) {
+	d := NewDevice(4096)
+	drive(d)
+	if n := d.CrashWith(PersistAll); n == 0 {
+		t.Fatal("PersistAll persisted nothing")
+	}
+	w := d.Working()
+	for i, want := range map[int]byte{0: 0xAA, 256: 0xBB, 512: 0xCC} {
+		for j := i; j < i+256; j++ {
+			if w[j] != want {
+				t.Fatalf("byte %d = %#x, want %#x after PersistAll", j, w[j], want)
+			}
+		}
+	}
+}
+
+func TestCrashWithAlternating(t *testing.T) {
+	for _, phase := range []int{0, 1} {
+		d := NewDevice(4096)
+		drive(d)
+		d.CrashWith(Alternating(phase))
+		w := d.Working()
+		// Unfenced region [256,768): line l survives iff l%2 == phase.
+		for l := 4; l < 12; l++ {
+			got := w[l*LineSize]
+			var want byte
+			if l%2 == phase {
+				if l < 8 {
+					want = 0xBB
+				} else {
+					want = 0xCC
+				}
+			}
+			if got != want {
+				t.Fatalf("phase %d line %d = %#x, want %#x", phase, l, got, want)
+			}
+		}
+	}
+}
+
+// TestCrashMatchesCrashWithSeeded pins Crash(rng) to the policy path: same
+// seed, same history, byte-identical media.
+func TestCrashMatchesCrashWithSeeded(t *testing.T) {
+	d1, d2 := NewDevice(4096), NewDevice(4096)
+	drive(d1)
+	drive(d2)
+	d1.Crash(rand.New(rand.NewSource(99)))
+	d2.CrashWith(SeededCrash(rand.New(rand.NewSource(99))))
+	if !bytes.Equal(d1.MediaSnapshot(), d2.MediaSnapshot()) {
+		t.Fatal("Crash(rng) and CrashWith(SeededCrash(rng)) diverge")
+	}
+}
+
+// applyOps drives a deterministic mixed history used by the primitive-count
+// tests.
+func applyOps(d *Device, rng *rand.Rand) {
+	line := make([]byte, LineSize)
+	for i := 0; i < 300; i++ {
+		off := rng.Intn(d.Size() - 512)
+		switch i % 7 {
+		case 0, 1, 2:
+			d.Store(off, []byte{byte(i)})
+		case 3:
+			d.FlushRange(off/LineSize*LineSize, 512) // multi-line flush
+		case 4:
+			d.NTStore(off/LineSize*LineSize, line)
+		case 5:
+			d.Load(off, line[:8])
+		case 6:
+			d.SFence()
+		}
+	}
+	d.SFence()
+}
+
+// TestPrimitiveCountIdenticalAcrossFlushPaths pins the invariant the torture
+// sweep depends on: the batched FlushRange fast path (no failure injection)
+// and the per-line injection path count primitives identically, so crash
+// points measured on a counting run land at the same indices on a replay.
+func TestPrimitiveCountIdenticalAcrossFlushPaths(t *testing.T) {
+	fast := NewDevice(1 << 14)
+	slow := NewDevice(1 << 14)
+	slow.FailAfter(1 << 60) // forces the per-line tick path, never fires
+	applyOps(fast, rand.New(rand.NewSource(3)))
+	applyOps(slow, rand.New(rand.NewSource(3)))
+	if fast.PrimitiveCount() != slow.PrimitiveCount() {
+		t.Fatalf("primitive counts diverge: fast path %d, injection path %d",
+			fast.PrimitiveCount(), slow.PrimitiveCount())
+	}
+	if !bytes.Equal(fast.Working(), slow.Working()) {
+		t.Fatal("working state diverges between flush paths")
+	}
+}
+
+// TestInjectedCrashCarriesIndexAndKind verifies a replayed crash fires at
+// the exact primitive the panic value names, with the right kind.
+func TestInjectedCrashCarriesIndexAndKind(t *testing.T) {
+	count := func() int64 {
+		d := NewDevice(1 << 14)
+		applyOps(d, rand.New(rand.NewSource(11)))
+		return d.PrimitiveCount()
+	}()
+	for _, k := range []int64{0, 1, count / 3, count / 2, count - 1} {
+		d := NewDevice(1 << 14)
+		d.FailAfter(k)
+		var got InjectedCrash
+		func() {
+			defer func() {
+				r := recover()
+				ic, ok := r.(InjectedCrash)
+				if !ok {
+					t.Fatalf("FailAfter(%d): recovered %v, want InjectedCrash", k, r)
+				}
+				got = ic
+			}()
+			applyOps(d, rand.New(rand.NewSource(11)))
+			t.Fatalf("FailAfter(%d) never fired within %d primitives", k, count)
+		}()
+		if got.Index != k+1 {
+			t.Fatalf("FailAfter(%d) fired at primitive %d, want %d", k, got.Index, k+1)
+		}
+		if got.Error() == "" || got.Kind.String() == "" {
+			t.Fatal("InjectedCrash must render its diagnostics")
+		}
+		// Replay from the panic value alone: FailAfter(Index-1) must fire at
+		// the same primitive with the same kind.
+		d2 := NewDevice(1 << 14)
+		d2.FailAfter(got.Index - 1)
+		func() {
+			defer func() {
+				ic := recover().(InjectedCrash)
+				if ic != got {
+					t.Fatalf("replay fired %+v, want %+v", ic, got)
+				}
+			}()
+			applyOps(d2, rand.New(rand.NewSource(11)))
+		}()
+	}
+}
+
+func TestCorruptRangeFlipsMediaAndWorking(t *testing.T) {
+	d := NewDevice(4096)
+	d.Store(100, []byte{0x12})
+	d.FlushRange(100, 1)
+	d.SFence()
+	d.CorruptRange(64, 192)
+	if got := d.Working()[100]; got != 0x12^0xff {
+		t.Fatalf("corrupted byte reads %#x, want %#x", got, 0x12^0xff)
+	}
+	if got := d.MediaSnapshot()[100]; got != 0x12^0xff {
+		t.Fatal("corruption did not reach media")
+	}
+	if got := d.Working()[63]; got != 0 {
+		t.Fatalf("byte outside corrupt range changed (%#x)", got)
+	}
+	// Idempotent round trip: corrupting twice restores.
+	d.CorruptRange(64, 192)
+	if got := d.Working()[100]; got != 0x12 {
+		t.Fatalf("double corruption = %#x, want original", got)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	d := NewDevice(4096)
+	old := make([]byte, MediaGranularity)
+	for i := range old {
+		old[i] = 0x11
+	}
+	d.StoreBulk(256, old)
+	d.FlushRange(256, MediaGranularity)
+	d.SFence()
+	// New content, cached but not flushed; the torn write applies only its
+	// first 100 bytes to the media chunk.
+	newc := make([]byte, MediaGranularity)
+	for i := range newc {
+		newc[i] = 0x22
+	}
+	d.StoreBulk(256, newc)
+	d.TornWrite(300, 100)
+	w := d.Working()
+	for i := 0; i < 100; i++ {
+		if w[256+i] != 0x22 {
+			t.Fatalf("head byte %d = %#x, want new content", i, w[256+i])
+		}
+	}
+	for i := 100; i < MediaGranularity; i++ {
+		if w[256+i] != 0x11 {
+			t.Fatalf("tail byte %d = %#x, want old content", i, w[256+i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range cut did not panic")
+		}
+	}()
+	d.TornWrite(0, MediaGranularity+1)
+}

@@ -57,7 +57,13 @@ func (r CheckReport) String() string {
 // With deep set, it additionally compares the contents of every pair and
 // reports (as info, not issues) which are in sync — after a clean recovery
 // all of them are.
+//
+// If the container carries the metadata checksum extension (detected from
+// the media regardless of l's setting), the checksum rules are validated
+// too: on a sealed image every CRC word and the shadow copy must verify;
+// on an unsealed image only the epoch's inline CRC is checkable.
 func Check(dev *nvm.Device, l *Layout, deep bool) CheckReport {
+	l = l.withChecksums(DetectChecksums(dev, l))
 	var r CheckReport
 	w := dev.Working()
 	if got := binary.LittleEndian.Uint64(w[offMagic:]); got != Magic {
@@ -92,6 +98,16 @@ func Check(dev *nvm.Device, l *Layout, deep bool) CheckReport {
 
 	r.CommittedEpoch = binary.LittleEndian.Uint64(w[offCommitted:])
 	active := int(r.CommittedEpoch % 2)
+
+	if l.Checksummed() {
+		r.Issues = append(r.Issues, validateChecksums(dev, l)...)
+		m := &Meta{dev: dev, l: l}
+		if m.Sealed() {
+			r.Info = append(r.Info, "metadata checksums: sealed")
+		} else {
+			r.Info = append(r.Info, "metadata checksums: unsealed (mid-epoch rules applied)")
+		}
+	}
 
 	// Segment-state domain.
 	for arr := 0; arr < 2; arr++ {

@@ -1,0 +1,296 @@
+package region
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+
+	"libcrpm/internal/nvm"
+)
+
+// Checksummed metadata ("v2 extension") layout. It is selected per container
+// by Config.Checksums at Format time and recorded durably in the header flag
+// word, so Open never has to guess: a container is checksummed iff the flag
+// bit (or, if the header line itself is corrupt, the extension magic) says
+// so.
+//
+// On-media geometry when the extension is enabled:
+//
+//	[0,   28)  magic, version, seg/blk sizes, segment counts   (as v1)
+//	[28,  32)  flags word, bit 0 = metadata checksums enabled
+//	[32,  40)  committed_epoch                                 (as v1)
+//	[40,  48)  CRC64 of committed_epoch — same cache line as the
+//	           epoch, so the pair is updated crash-atomically and is
+//	           verifiable at ANY crash point, sealed or not
+//	[48, ...)  seg_state[0], seg_state[1], backup_to_main      (as v1,
+//	           shifted by 8 bytes)
+//	ext        one 64-aligned cache line:
+//	             +0  extension magic
+//	             +8  seal epoch (epoch the container was sealed at)
+//	             +16 seal flags: 1 = sealed, 2 = unsealed
+//	             +24 CRC64 over ext[0:24] (the seal words)
+//	             +32 CRC64 over meta[0:32] (header through flags)
+//	             +40 CRC64 over seg_state[0]
+//	             +48 CRC64 over seg_state[1]
+//	             +56 CRC64 over backup_to_main
+//	shadow     redundant copy at ext+64: meta[0:48] ++ seg_state[0] ++
+//	           seg_state[1] ++ backup_to_main ++ seal epoch ++ CRC64
+//	           over all preceding shadow bytes
+//
+// The whole-structure CRCs can only be maintained at protocol quiescent
+// points — copy-on-write legally mutates the active segment-state array in
+// the middle of an epoch, long before the next flush of a CRC word could be
+// made crash-atomic with it. The seal protocol resolves this: every
+// metadata mutator first durably marks the container unsealed (store, flush,
+// fence — the fence guarantees no mutation can persist while the unseal is
+// dropped), and Seal() re-validates at the end of Format, checkpoint, and
+// recovery. Validation therefore applies two rule sets:
+//
+//   - sealed: every CRC and the shadow copy must verify exactly;
+//   - unsealed: only the epoch's inline CRC and the domain invariants are
+//     checkable — the arrays are legally mid-mutation and the shadow is
+//     legally stale.
+//
+// Repair never trusts the shadow for the SEAL STATE itself: restoring
+// "sealed" onto a legally mid-epoch image would resurrect stale arrays. A
+// corrupt seal line is always repaired to "unsealed", which hands the image
+// to the ordinary (checksum-free) recovery protocol — correct by the
+// paper's own argument.
+const (
+	offFlags        = 28 // uint32 flags word in the header line
+	offEpochCRC     = 40 // CRC64 of the epoch (checksummed layout only)
+	ckMetaFixedSize = 48 // fixed header size when checksums are enabled
+
+	// ExtMagic identifies the checksum extension line ("CRPCSKV1").
+	ExtMagic uint64 = 0x43525043534b5631
+
+	extOffMagic     = 0
+	extOffSealEpoch = 8
+	extOffSealFlags = 16
+	extOffSealCRC   = 24
+	extOffCRCHeader = 32
+	extOffCRCSeg0   = 40
+	extOffCRCSeg1   = 48
+	extOffCRCPairs  = 56
+
+	sealSealed   uint64 = 1
+	sealUnsealed uint64 = 2
+
+	// flagChecksums marks a checksummed container in the header flag word.
+	flagChecksums uint32 = 1
+
+	shadowHeaderLen = 48 // shadow copies meta[0:48]
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Checksummed reports whether this layout carries the metadata checksum
+// extension.
+func (l *Layout) Checksummed() bool { return l.ck }
+
+// withChecksums returns a copy of the layout with the checksum extension
+// toggled and all derived offsets recomputed. The receiver is unchanged.
+func (l *Layout) withChecksums(on bool) *Layout {
+	if l.ck == on {
+		return l
+	}
+	c := *l
+	c.ck = on
+	c.resolveOffsets()
+	return &c
+}
+
+func (l *Layout) shadowEnd() int { return l.shadowOff + l.shadowLen }
+
+// DetectChecksums reports whether the container on dev was formatted with
+// metadata checksums, judging by the header flag bit OR the extension magic
+// (at the position l's geometry implies). Two independent witnesses mean a
+// single corrupted cache line cannot silently disable validation. The magic
+// probe is only consulted when its offset falls inside the plain layout's
+// metadata padding — in a plain container that area is never written, so
+// the probe cannot misread application data as an extension.
+func DetectChecksums(dev *nvm.Device, l *Layout) bool {
+	w := dev.Working()
+	if len(w) >= offFlags+4 && binary.LittleEndian.Uint32(w[offFlags:])&flagChecksums != 0 {
+		return true
+	}
+	ckl := l.withChecksums(true)
+	plain := l.withChecksums(false)
+	if ckl.extOff+nvm.LineSize <= plain.metaSize && dev.Size() >= ckl.extOff+nvm.LineSize &&
+		binary.LittleEndian.Uint64(w[ckl.extOff+extOffMagic:]) == ExtMagic {
+		return true
+	}
+	return false
+}
+
+func (m *Meta) ext(off int) uint64 {
+	return binary.LittleEndian.Uint64(m.dev.Working()[m.l.extOff+off:])
+}
+
+// Sealed reports whether the container is currently marked sealed (all
+// metadata checksums authoritative). Meaningless on non-checksummed
+// layouts, which report false.
+func (m *Meta) Sealed() bool {
+	return m.l.ck && m.ext(extOffSealFlags) == sealSealed
+}
+
+// sealWords serializes the first 24 bytes of the extension line plus their
+// CRC for the given seal state.
+func sealWords(epoch, flags uint64) [32]byte {
+	var b [32]byte
+	binary.LittleEndian.PutUint64(b[0:], ExtMagic)
+	binary.LittleEndian.PutUint64(b[8:], epoch)
+	binary.LittleEndian.PutUint64(b[16:], flags)
+	binary.LittleEndian.PutUint64(b[24:], crc64.Checksum(b[:24], crcTable))
+	return b
+}
+
+// unseal durably marks the container unsealed before a metadata mutation.
+// The fence is essential: without it a crash could persist the mutation
+// while dropping the unseal, making a legally mid-epoch image look like a
+// corrupt sealed one.
+func (m *Meta) unseal() {
+	if !m.l.ck || !m.Sealed() {
+		return
+	}
+	b := sealWords(m.ext(extOffSealEpoch), sealUnsealed)
+	m.dev.Store(m.l.extOff, b[:])
+	m.dev.FlushRange(m.l.extOff, len(b))
+	m.dev.SFence()
+}
+
+// structCRCs computes the whole-structure CRC words from the current
+// working view: header, the two segment-state arrays, and the pairing
+// table.
+func (m *Meta) structCRCs() (hdr, seg0, seg1, pairs uint64) {
+	w := m.dev.Working()
+	l := m.l
+	hdr = crc64.Checksum(w[0:offFlags+4], crcTable)
+	seg0 = crc64.Checksum(w[l.segStateOff(0):l.segStateOff(0)+l.NMain], crcTable)
+	seg1 = crc64.Checksum(w[l.segStateOff(1):l.segStateOff(1)+l.NMain], crcTable)
+	pairs = crc64.Checksum(w[l.backupToMainOff(0):l.backupToMainOff(0)+4*l.NBackup], crcTable)
+	return
+}
+
+// writeShadow serializes and stores the redundant metadata copy (volatile
+// store; the caller flushes).
+func (m *Meta) writeShadow(epoch uint64) {
+	w := m.dev.Working()
+	l := m.l
+	buf := make([]byte, l.shadowLen)
+	n := copy(buf, w[0:shadowHeaderLen])
+	n += copy(buf[n:], w[l.segStateOff(0):l.segStateOff(0)+2*l.NMain])
+	n += copy(buf[n:], w[l.backupToMainOff(0):l.backupToMainOff(0)+4*l.NBackup])
+	binary.LittleEndian.PutUint64(buf[n:], epoch)
+	n += 8
+	binary.LittleEndian.PutUint64(buf[n:], crc64.Checksum(buf[:n], crcTable))
+	m.dev.StoreBulk(l.shadowOff, buf)
+}
+
+// Seal re-establishes the checksummed quiescent state: it recomputes every
+// structure CRC, rewrites the shadow copy, makes both durable, and then
+// atomically flips the seal line to "sealed". A crash anywhere inside Seal
+// leaves the container either unsealed (validated by the relaxed rules) or
+// fully sealed — the seal words share one cache line, so the flip itself
+// is crash-atomic. No-op on non-checksummed layouts.
+func (m *Meta) Seal() {
+	if !m.l.ck {
+		return
+	}
+	l := m.l
+	e := m.CommittedEpoch()
+	hdr, seg0, seg1, pairs := m.structCRCs()
+	var crcs [32]byte
+	binary.LittleEndian.PutUint64(crcs[0:], hdr)
+	binary.LittleEndian.PutUint64(crcs[8:], seg0)
+	binary.LittleEndian.PutUint64(crcs[16:], seg1)
+	binary.LittleEndian.PutUint64(crcs[24:], pairs)
+	m.dev.Store(l.extOff+extOffCRCHeader, crcs[:])
+	m.writeShadow(e)
+	m.dev.FlushRange(l.extOff+extOffCRCHeader, 32)
+	m.dev.FlushRange(l.shadowOff, l.shadowLen)
+	m.dev.SFence()
+	b := sealWords(e, sealSealed)
+	m.dev.Store(l.extOff, b[:])
+	m.dev.FlushRange(l.extOff, len(b))
+	m.dev.SFence()
+}
+
+// epochCRCOK verifies the committed epoch against its inline CRC. Valid at
+// every crash point: the pair is stored and flushed as one line-contained
+// write.
+func epochCRCOK(w []byte) bool {
+	return crc64.Checksum(w[offCommitted:offCommitted+8], crcTable) ==
+		binary.LittleEndian.Uint64(w[offEpochCRC:])
+}
+
+// shadowImage returns the shadow bytes and whether their trailing CRC
+// verifies.
+func shadowImage(w []byte, l *Layout) (buf []byte, ok bool) {
+	buf = w[l.shadowOff:l.shadowEnd()]
+	crc := binary.LittleEndian.Uint64(buf[len(buf)-8:])
+	return buf, crc64.Checksum(buf[:len(buf)-8], crcTable) == crc
+}
+
+// validateChecksums returns the checksum-rule violations of a checksummed
+// container image, applying the sealed or unsealed rule set as recorded on
+// media. The layout must already carry the extension (l.Checksummed()).
+func validateChecksums(dev *nvm.Device, l *Layout) []string {
+	var issues []string
+	w := dev.Working()
+	ext := w[l.extOff : l.extOff+nvm.LineSize]
+
+	sealOK := binary.LittleEndian.Uint64(ext[extOffMagic:]) == ExtMagic &&
+		crc64.Checksum(ext[:extOffSealCRC], crcTable) == binary.LittleEndian.Uint64(ext[extOffSealCRC:])
+	flags := binary.LittleEndian.Uint64(ext[extOffSealFlags:])
+	if sealOK && flags != sealSealed && flags != sealUnsealed {
+		sealOK = false
+	}
+	if !sealOK {
+		issues = append(issues, "checksum extension: seal line corrupt")
+	}
+	if !epochCRCOK(w) {
+		issues = append(issues, fmt.Sprintf("committed epoch %d fails its inline CRC",
+			binary.LittleEndian.Uint64(w[offCommitted:])))
+	}
+	if !sealOK || flags != sealSealed {
+		// Unsealed (or undecidable) image: whole-structure CRCs and the
+		// shadow are legally out of date; nothing more is checkable here.
+		return issues
+	}
+
+	epoch := binary.LittleEndian.Uint64(w[offCommitted:])
+	if se := binary.LittleEndian.Uint64(ext[extOffSealEpoch:]); se != epoch {
+		issues = append(issues, fmt.Sprintf("sealed at epoch %d but committed epoch is %d", se, epoch))
+	}
+	m := &Meta{dev: dev, l: l}
+	hdr, seg0, seg1, pairs := m.structCRCs()
+	for _, c := range []struct {
+		name string
+		got  uint64
+		off  int
+	}{
+		{"header", hdr, extOffCRCHeader},
+		{"seg_state[0]", seg0, extOffCRCSeg0},
+		{"seg_state[1]", seg1, extOffCRCSeg1},
+		{"backup_to_main", pairs, extOffCRCPairs},
+	} {
+		if want := binary.LittleEndian.Uint64(ext[c.off:]); c.got != want {
+			issues = append(issues, fmt.Sprintf("%s CRC mismatch: computed %#x, recorded %#x", c.name, c.got, want))
+		}
+	}
+	shadow, shOK := shadowImage(w, l)
+	if !shOK {
+		issues = append(issues, "shadow metadata copy fails its CRC")
+	} else if !bytes.Equal(shadow[:len(shadow)-16], primaryImage(w, l)) {
+		issues = append(issues, "shadow metadata copy diverges from sealed primary")
+	}
+	return issues
+}
+
+// primaryImage returns the live bytes the shadow mirrors: header, both
+// segment-state arrays, and the pairing table (contiguous on media).
+func primaryImage(w []byte, l *Layout) []byte {
+	return w[0 : l.backupToMainOff(0)+4*l.NBackup]
+}

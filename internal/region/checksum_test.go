@@ -1,0 +1,246 @@
+package region
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"libcrpm/internal/nvm"
+)
+
+func ckConfig() Config {
+	return Config{HeapSize: 4 << 20, SegmentSize: 1 << 20, BlockSize: 256, BackupRatio: 1, Checksums: true}
+}
+
+// sealedContainer formats a checksummed container and drives it to a
+// non-trivial sealed state: epoch 4, mixed segment states, one pairing.
+func sealedContainer(t *testing.T) (*nvm.Device, *Layout, *Meta) {
+	t.Helper()
+	l := mustLayout(t, ckConfig())
+	dev := nvm.NewDevice(l.DeviceSize())
+	m, err := Format(dev, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetSegState(0, 0, SSMain)
+	m.SetSegState(0, 1, SSBackup)
+	m.SetSegState(1, 0, SSMain)
+	m.FlushSegStateArray(0)
+	m.FlushSegStateArray(1)
+	m.SetBackupToMain(2, 1)
+	dev.SFence()
+	m.SetCommittedEpoch(4)
+	dev.SFence()
+	m.Seal()
+	return dev, l, m
+}
+
+func TestPlainLayoutUnchangedByExtensionCode(t *testing.T) {
+	l := mustLayout(t, Config{HeapSize: 4 << 20, SegmentSize: 1 << 20, BlockSize: 256, BackupRatio: 1})
+	if l.Checksummed() {
+		t.Fatal("plain config produced checksummed layout")
+	}
+	if got := l.MetadataSize(); got != metaFixedSize+2*l.NMain+4*l.NBackup {
+		t.Fatalf("plain MetadataSize = %d, want paper formula %d", got, metaFixedSize+2*l.NMain+4*l.NBackup)
+	}
+	if l.segStateOff(0) != metaFixedSize {
+		t.Fatalf("plain seg_state[0] moved to %d", l.segStateOff(0))
+	}
+	dev := nvm.NewDevice(l.DeviceSize())
+	if _, err := Format(dev, l); err != nil {
+		t.Fatal(err)
+	}
+	if DetectChecksums(dev, l) {
+		t.Fatal("plain container detected as checksummed")
+	}
+	w := dev.Working()
+	if w[offFlags] != 0 {
+		t.Fatal("plain Format wrote the flags word")
+	}
+}
+
+func TestFormatSealsChecksummedContainer(t *testing.T) {
+	dev, l, m := sealedContainer(t)
+	if !l.Checksummed() || !m.Sealed() {
+		t.Fatal("container not sealed after Seal")
+	}
+	if !DetectChecksums(dev, l.withChecksums(false)) {
+		t.Fatal("checksummed container not detected")
+	}
+	if err := Validate(dev, l); err != nil {
+		t.Fatalf("sealed container fails validation: %v", err)
+	}
+	r := Check(dev, l, false)
+	if !r.OK() {
+		t.Fatalf("sealed container flagged:\n%s", r)
+	}
+	if !strings.Contains(strings.Join(r.Info, "\n"), "sealed") {
+		t.Fatalf("seal state not reported: %v", r.Info)
+	}
+	// Seals survive a full crash: everything is fenced.
+	dev.CrashDropAll()
+	if err := Validate(dev, l); err != nil {
+		t.Fatalf("sealed container fails validation after crash: %v", err)
+	}
+}
+
+func TestMutatorsUnsealBeforeMutating(t *testing.T) {
+	dev, l, m := sealedContainer(t)
+	m.SetSegState(0, 2, SSMain)
+	if m.Sealed() {
+		t.Fatal("mutator did not unseal")
+	}
+	// The unseal is fenced before the mutation: even if the crash drops
+	// every unguaranteed line, the image can never be "sealed with mutated
+	// arrays".
+	dev.CrashDropAll()
+	if m.Sealed() {
+		t.Fatal("unseal was not durable before the mutation")
+	}
+	if err := Validate(dev, l); err != nil {
+		t.Fatalf("unsealed mid-epoch image must validate by relaxed rules: %v", err)
+	}
+	r := Check(dev, l, false)
+	if !r.OK() {
+		t.Fatalf("legal unsealed image flagged:\n%s", r)
+	}
+	m.Seal()
+	if !m.Sealed() {
+		t.Fatal("Seal did not reseal")
+	}
+	if err := Validate(dev, l); err != nil {
+		t.Fatalf("resealed container fails validation: %v", err)
+	}
+}
+
+func TestOpenDetectionIsSticky(t *testing.T) {
+	// Checksummed media opened with a plain config: extension detected.
+	dev, _, _ := sealedContainer(t)
+	plain := mustLayout(t, Config{HeapSize: 4 << 20, SegmentSize: 1 << 20, BlockSize: 256, BackupRatio: 1})
+	m, err := Open(dev, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Checksummed() {
+		t.Fatal("Open did not adopt the on-media checksum extension")
+	}
+	if m.CommittedEpoch() != 4 || m.SegState(0, 1) != SSBackup {
+		t.Fatal("metadata misread after layout adjustment")
+	}
+
+	// Plain media opened with a checksummed config: extension dropped.
+	pl := mustLayout(t, Config{HeapSize: 4 << 20, SegmentSize: 1 << 20, BlockSize: 256, BackupRatio: 1})
+	dev2 := nvm.NewDevice(pl.DeviceSize())
+	if _, err := Format(dev2, pl); err != nil {
+		t.Fatal(err)
+	}
+	ckl := mustLayout(t, ckConfig())
+	m2, err := Open(dev2, ckl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckl.Checksummed() {
+		t.Fatal("Open kept the checksum extension on plain media")
+	}
+	if m2.CommittedEpoch() != 0 {
+		t.Fatal("plain metadata misread")
+	}
+}
+
+// TestRepairEveryCorruptLine is the region-level form of the acceptance
+// criterion: corrupt each metadata cache line of a sealed container in
+// turn; validation must flag every line that carries state, and Repair must
+// restore the exact primary bytes (or, for the seal line itself, a correct
+// unsealed image).
+func TestRepairEveryCorruptLine(t *testing.T) {
+	devRef, l, _ := sealedContainer(t)
+	ref := append([]byte(nil), devRef.MediaSnapshot()...)
+	primLen := len(primaryImage(devRef.Working(), l))
+
+	for line := 0; line*nvm.LineSize < l.shadowEnd(); line++ {
+		off := line * nvm.LineSize
+		dev, l2, _ := sealedContainer(t)
+		dev.CorruptRange(off, nvm.LineSize)
+		verr := Validate(dev, l2)
+		inPrimary := off < primLen
+		inExt := off >= l2.extOff && off < l2.extOff+nvm.LineSize
+		inShadow := off >= l2.shadowOff && off < l2.shadowEnd()
+		if (inPrimary || inExt || inShadow) && verr == nil {
+			t.Fatalf("line %d: corruption of live metadata not detected", line)
+		}
+		if verr == nil {
+			continue // dead padding: nothing to detect or repair
+		}
+		rep, err := Repair(dev, l2)
+		if err != nil {
+			t.Fatalf("line %d: repair failed: %v", line, err)
+		}
+		if len(rep.Actions) == 0 {
+			t.Fatalf("line %d: validation failed but repair did nothing", line)
+		}
+		if err := Validate(dev, l2); err != nil {
+			t.Fatalf("line %d: still invalid after repair: %v", line, err)
+		}
+		if !bytes.Equal(dev.Working()[:primLen], ref[:primLen]) &&
+			!inExt { // seal-line repair legally rewrites nothing in the primary
+			t.Fatalf("line %d: primary metadata differs after repair", line)
+		}
+		if inExt {
+			// The seal line is never restored from the shadow: the image
+			// must come back unsealed with the primary intact.
+			m := &Meta{dev: dev, l: l2}
+			if m.Sealed() {
+				t.Fatalf("line %d: corrupt seal line restored to sealed", line)
+			}
+			if !bytes.Equal(dev.Working()[:primLen], ref[:primLen]) {
+				t.Fatalf("line %d: primary metadata damaged by seal-line repair", line)
+			}
+		}
+		// Idempotent: a second repair finds nothing.
+		rep2, err := Repair(dev, l2)
+		if err != nil || len(rep2.Actions) != 0 {
+			t.Fatalf("line %d: second repair not a no-op: %v %v", line, rep2.Actions, err)
+		}
+	}
+}
+
+func TestRepairUnsealedCorruptEpochIsUnrepairable(t *testing.T) {
+	dev, l, m := sealedContainer(t)
+	m.SetSegState(0, 2, SSMain) // unseal, legally mid-epoch
+	dev.CorruptRange(0, nvm.LineSize)
+	if err := Validate(dev, l); err == nil {
+		t.Fatal("corrupt epoch line on unsealed image not detected")
+	}
+	if _, err := Repair(dev, l); !errors.Is(err, ErrUnrepairable) {
+		t.Fatalf("repair of unsealed corrupt epoch: err = %v, want ErrUnrepairable", err)
+	}
+}
+
+func TestRepairRefusesPlainContainers(t *testing.T) {
+	l := mustLayout(t, Config{HeapSize: 1 << 20, SegmentSize: 1 << 20, BlockSize: 256, BackupRatio: 1})
+	dev := nvm.NewDevice(l.DeviceSize())
+	if _, err := Format(dev, l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Repair(dev, l); !errors.Is(err, ErrUnrepairable) {
+		t.Fatalf("repair of plain container: err = %v, want ErrUnrepairable", err)
+	}
+}
+
+func TestSealCrashAtomicity(t *testing.T) {
+	// Crash while the seal line flush is in flight: the image is either
+	// sealed (flush completed) or unsealed (rolled back) — both validate.
+	for _, persist := range []nvm.CrashPolicy{nvm.PersistAll, nvm.DropAll} {
+		dev, l, m := sealedContainer(t)
+		m.SetSegState(0, 2, SSMain) // unseal
+		m.FlushSegState(0, 2)
+		dev.SFence()
+		m.Seal()
+		m.SetSegState(0, 3, SSMain) // unseal again, leave the store dirty
+		dev.CrashWith(persist)
+		if err := Validate(dev, l); err != nil {
+			t.Fatalf("policy %T: crash image fails validation: %v", persist, err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package region
+
+import (
+	"testing"
+
+	"libcrpm/internal/nvm"
+)
+
+// fuzzImage builds the sealed reference container once per process.
+func fuzzImage(t interface{ Fatal(...any) }) (*nvm.Device, *Layout) {
+	l, err := NewLayout(ckConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := nvm.NewDevice(l.DeviceSize())
+	m, err := Format(dev, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetSegState(0, 0, SSMain)
+	m.SetSegState(0, 1, SSBackup)
+	m.SetSegState(1, 0, SSMain)
+	m.FlushSegStateArray(0)
+	m.FlushSegStateArray(1)
+	m.SetBackupToMain(2, 1)
+	dev.SFence()
+	m.SetCommittedEpoch(4)
+	dev.SFence()
+	m.Seal()
+	return dev, l
+}
+
+// FuzzRegionCheck mutates a contiguous run of up to 7 bytes (a burst of at
+// most 56 bits, within CRC64's guaranteed burst-detection length) anywhere
+// in the metadata of a sealed container, then requires:
+//
+//   - Check and Repair never panic, whatever the image looks like;
+//   - every mutation that touches checksummed state (primary structures,
+//     extension line, shadow) is flagged by Check;
+//   - whenever Repair reports success, the image validates afterwards.
+func FuzzRegionCheck(f *testing.F) {
+	f.Add(uint32(0), byte(0xff), byte(0), byte(0), byte(0), byte(0), byte(0), byte(0))
+	f.Add(uint32(40), byte(1), byte(2), byte(3), byte(4), byte(5), byte(6), byte(7))
+	f.Add(uint32(128), byte(0x80), byte(0), byte(0x01), byte(0), byte(0), byte(0), byte(0))
+	f.Add(uint32(200), byte(0xaa), byte(0xaa), byte(0xaa), byte(0xaa), byte(0xaa), byte(0xaa), byte(0xaa))
+	f.Fuzz(func(t *testing.T, off uint32, m0, m1, m2, m3, m4, m5, m6 byte) {
+		dev, l := fuzzImage(t)
+		xs := []byte{m0, m1, m2, m3, m4, m5, m6}
+		start := int(off) % l.shadowEnd()
+		mutated := false
+		live := false
+		w := dev.Working()
+		primLen := len(primaryImage(w, l))
+		buf := make([]byte, 0, len(xs))
+		for i, x := range xs {
+			p := start + i
+			if p >= l.shadowEnd() || x == 0 {
+				buf = append(buf, w[p]) // keep the byte as-is
+				continue
+			}
+			buf = append(buf, w[p]^x)
+			mutated = true
+			if p < primLen || (p >= l.extOff && p < l.extOff+nvm.LineSize) ||
+				(p >= l.shadowOff && p < l.shadowEnd()) {
+				live = true
+			}
+		}
+		dev.Store(start, buf)
+		dev.FlushRange(start, len(buf))
+		dev.SFence()
+
+		r := Check(dev, l, false)
+		if mutated && live && r.OK() {
+			t.Fatalf("mutation at %d not flagged by Check:\n%s", start, r)
+		}
+		if !mutated && !r.OK() {
+			t.Fatalf("no-op mutation flagged:\n%s", r)
+		}
+		if _, err := Repair(dev, l); err == nil {
+			if verr := Validate(dev, l); verr != nil {
+				t.Fatalf("Repair reported success but image still invalid: %v", verr)
+			}
+		}
+	})
+}

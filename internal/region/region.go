@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc64"
 
 	"libcrpm/internal/nvm"
 )
@@ -74,6 +75,11 @@ type Config struct {
 	// BackupRatio is nr_backup_segs / nr_main_segs in (0, 1]. It bounds the
 	// number of segments that may be modified in one epoch.
 	BackupRatio float64
+	// Checksums enables the metadata checksum extension: CRC64 words over
+	// the header, segment-state arrays, and pairing table, plus a redundant
+	// shadow copy, maintained by a seal/unseal protocol (see checksum.go).
+	// Opt-in; a plain container's on-media format is byte-identical to v1.
+	Checksums bool
 }
 
 // WithDefaults fills unset fields with the paper's defaults.
@@ -120,6 +126,12 @@ type Layout struct {
 	NMain   int
 	NBackup int
 
+	ck        bool // metadata checksum extension present
+	metaFixed int  // fixed header bytes before seg_state[0]
+	extOff    int  // checksum extension line (ck only)
+	shadowOff int  // redundant metadata copy (ck only)
+	shadowLen int
+
 	metaSize  int
 	mainOff   int
 	backupOff int
@@ -139,14 +151,33 @@ func NewLayout(c Config) (*Layout, error) {
 	if nBackup > nMain {
 		nBackup = nMain
 	}
-	l := &Layout{SegSize: c.SegmentSize, BlkSize: c.BlockSize, NMain: nMain, NBackup: nBackup}
-	meta := metaFixedSize + 2*nMain + 4*nBackup
+	l := &Layout{SegSize: c.SegmentSize, BlkSize: c.BlockSize, NMain: nMain, NBackup: nBackup, ck: c.Checksums}
+	l.resolveOffsets()
+	return l, nil
+}
+
+// resolveOffsets derives every offset field from the geometry and the
+// checksum flag. Called again whenever Open discovers the on-media format
+// differs from the configured one.
+func (l *Layout) resolveOffsets() {
+	l.metaFixed = metaFixedSize
+	if l.ck {
+		l.metaFixed = ckMetaFixedSize
+	}
+	meta := l.metaFixed + 2*l.NMain + 4*l.NBackup
+	if l.ck {
+		l.extOff = align(meta, nvm.LineSize)
+		l.shadowOff = l.extOff + nvm.LineSize
+		l.shadowLen = shadowHeaderLen + 2*l.NMain + 4*l.NBackup + 16
+		meta = l.shadowOff + l.shadowLen
+	} else {
+		l.extOff, l.shadowOff, l.shadowLen = 0, 0, 0
+	}
 	// Align regions to the media granularity so segment copies never share
 	// cache lines with metadata.
 	l.metaSize = align(meta, 4096)
 	l.mainOff = l.metaSize
-	l.backupOff = l.mainOff + nMain*c.SegmentSize
-	return l, nil
+	l.backupOff = l.mainOff + l.NMain*l.SegSize
 }
 
 func align(n, a int) int { return (n + a - 1) / a * a }
@@ -172,7 +203,14 @@ func (l *Layout) DeviceSize() int { return l.backupOff + l.NBackup*l.SegSize }
 func (l *Layout) HeapSize() int { return l.NMain * l.SegSize }
 
 // MetadataSize returns the metadata footprint in bytes (unaligned, §5.6).
-func (l *Layout) MetadataSize() int { return metaFixedSize + 2*l.NMain + 4*l.NBackup }
+// With the checksum extension it additionally counts the extension line and
+// the shadow copy; for plain containers it is the paper's formula exactly.
+func (l *Layout) MetadataSize() int {
+	if l.ck {
+		return l.shadowEnd()
+	}
+	return metaFixedSize + 2*l.NMain + 4*l.NBackup
+}
 
 // MainOff returns the device offset of main segment i.
 func (l *Layout) MainOff(i int) int { return l.mainOff + i*l.SegSize }
@@ -196,9 +234,9 @@ func (l *Layout) BlocksPerSeg() int { return l.SegSize / l.BlkSize }
 // TotalBlocks returns the number of blocks in the main region.
 func (l *Layout) TotalBlocks() int { return l.NMain * l.BlocksPerSeg() }
 
-func (l *Layout) segStateOff(arr int) int { return metaFixedSize + arr*l.NMain }
+func (l *Layout) segStateOff(arr int) int { return l.metaFixed + arr*l.NMain }
 
-func (l *Layout) backupToMainOff(j int) int { return metaFixedSize + 2*l.NMain + 4*j }
+func (l *Layout) backupToMainOff(j int) int { return l.metaFixed + 2*l.NMain + 4*j }
 
 // Meta provides typed access to the persistent metadata of a container on a
 // device. Mutators perform cached stores; callers are responsible for the
@@ -230,8 +268,16 @@ func Format(dev *nvm.Device, l *Layout) (*Meta, error) {
 	dev.Store(offNMain, b4[:])
 	binary.LittleEndian.PutUint32(b4[:], uint32(l.NBackup))
 	dev.Store(offNBackup, b4[:])
+	if l.ck {
+		binary.LittleEndian.PutUint32(b4[:], flagChecksums)
+		dev.Store(offFlags, b4[:])
+	}
 	binary.LittleEndian.PutUint64(b8[:], 0)
 	dev.Store(offCommitted, b8[:])
+	if l.ck {
+		binary.LittleEndian.PutUint64(b8[:], crc64.Checksum(make([]byte, 8), crcTable))
+		dev.Store(offEpochCRC, b8[:])
+	}
 	zero := make([]byte, 2*l.NMain)
 	dev.StoreBulk(l.segStateOff(0), zero)
 	free := make([]byte, 4*l.NBackup)
@@ -239,12 +285,24 @@ func Format(dev *nvm.Device, l *Layout) (*Meta, error) {
 		binary.LittleEndian.PutUint32(free[4*j:], NoPair)
 	}
 	dev.StoreBulk(l.backupToMainOff(0), free)
+	if l.ck {
+		sw := sealWords(0, sealUnsealed)
+		dev.Store(l.extOff, sw[:])
+	}
 	dev.FlushRange(0, l.MetadataSize())
 	dev.SFence()
+	if l.ck {
+		m.Seal()
+	}
 	return m, nil
 }
 
 // Open validates an existing container's metadata against the layout.
+//
+// The checksum extension is a sticky on-media property: if the container's
+// format disagrees with l's Checksums setting, l is adjusted in place (and
+// all derived offsets recomputed) to match the media, so callers keep using
+// the same *Layout they passed in.
 func Open(dev *nvm.Device, l *Layout) (*Meta, error) {
 	if dev.Size() < l.DeviceSize() {
 		return nil, fmt.Errorf("region: device %d bytes, layout needs %d", dev.Size(), l.DeviceSize())
@@ -274,6 +332,13 @@ func Open(dev *nvm.Device, l *Layout) (*Meta, error) {
 	if err := check(offNBackup, l.NBackup, "backup segment count"); err != nil {
 		return nil, err
 	}
+	if on := DetectChecksums(dev, l); on != l.ck {
+		l.ck = on
+		l.resolveOffsets()
+		if dev.Size() < l.DeviceSize() {
+			return nil, fmt.Errorf("region: device %d bytes, checksummed layout needs %d", dev.Size(), l.DeviceSize())
+		}
+	}
 	return &Meta{dev: dev, l: l}, nil
 }
 
@@ -287,8 +352,19 @@ func (m *Meta) CommittedEpoch() uint64 {
 
 // SetCommittedEpoch stores and flushes (but does not fence) the epoch
 // counter. The 8-byte store is line-contained and therefore atomic with
-// respect to crashes.
+// respect to crashes. With checksums enabled, the epoch's inline CRC lives
+// in the same cache line and is updated by the same store, so the pair
+// stays verifiable at every crash point.
 func (m *Meta) SetCommittedEpoch(e uint64) {
+	m.unseal()
+	if m.l.ck {
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[:8], e)
+		binary.LittleEndian.PutUint64(b[8:], crc64.Checksum(b[:8], crcTable))
+		m.dev.Store(offCommitted, b[:])
+		m.dev.FlushRange(offCommitted, 16)
+		return
+	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], e)
 	m.dev.Store(offCommitted, b[:])
@@ -302,6 +378,7 @@ func (m *Meta) SegState(arr, i int) SegState {
 
 // SetSegState stores entry i of array arr without flushing.
 func (m *Meta) SetSegState(arr, i int, s SegState) {
+	m.unseal()
 	m.dev.Store(m.l.segStateOff(arr)+i, []byte{byte(s)})
 }
 
@@ -313,6 +390,7 @@ func (m *Meta) FlushSegState(arr, i int) {
 // CopySegStateArray bulk-copies array src into array dst (volatile store;
 // caller flushes via FlushSegStateArray).
 func (m *Meta) CopySegStateArray(dst, src int) {
+	m.unseal()
 	w := m.dev.Working()
 	buf := make([]byte, m.l.NMain)
 	copy(buf, w[m.l.segStateOff(src):m.l.segStateOff(src)+m.l.NMain])
@@ -331,6 +409,7 @@ func (m *Meta) BackupToMain(j int) uint32 {
 
 // SetBackupToMain stores and flushes the pairing entry for backup j.
 func (m *Meta) SetBackupToMain(j int, main uint32) {
+	m.unseal()
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], main)
 	m.dev.Store(m.l.backupToMainOff(j), b[:])

@@ -1,0 +1,203 @@
+package region
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"strings"
+
+	"libcrpm/internal/nvm"
+)
+
+// ErrUnrepairable means metadata corruption was detected that the redundant
+// copy cannot fix (more than one independent structure is damaged, or the
+// damage hit an unsealed image whose shadow is legally stale).
+var ErrUnrepairable = errors.New("region: metadata corruption is not repairable")
+
+// Validate verifies the checksum rules of the container on dev, using the
+// sealed or unsealed rule set recorded on media. Containers without the
+// checksum extension validate trivially. It never modifies the device.
+func Validate(dev *nvm.Device, l *Layout) error {
+	l = l.withChecksums(DetectChecksums(dev, l))
+	if !l.Checksummed() {
+		return nil
+	}
+	if dev.Size() < l.DeviceSize() {
+		return fmt.Errorf("region: device %d bytes, checksummed layout needs %d", dev.Size(), l.DeviceSize())
+	}
+	if issues := validateChecksums(dev, l); len(issues) > 0 {
+		return fmt.Errorf("region: metadata checksum validation failed: %s", strings.Join(issues, "; "))
+	}
+	return nil
+}
+
+// RepairReport lists the actions a Repair run performed.
+type RepairReport struct {
+	// Actions describe each repair, in order. Empty means the metadata
+	// already validated and nothing was touched.
+	Actions []string
+}
+
+// String renders the report.
+func (r RepairReport) String() string {
+	if len(r.Actions) == 0 {
+		return "nothing to repair\n"
+	}
+	var b strings.Builder
+	for _, a := range r.Actions {
+		fmt.Fprintf(&b, "repaired: %s\n", a)
+	}
+	return b.String()
+}
+
+// Repair reconstructs corrupt checksummed metadata from its redundant
+// copies, under the single-fault assumption (one corrupted metadata cache
+// line). The rules, in order:
+//
+//   - The seal line is NEVER restored from the shadow: a shadow claiming
+//     "sealed" over a legally mid-epoch image would resurrect stale arrays.
+//     A corrupt seal line is rebuilt as UNSEALED, handing the image to the
+//     ordinary protocol recovery, which is correct whenever the protocol
+//     metadata itself is intact — exactly the single-fault case.
+//   - The committed epoch is only ever restored from the shadow of a SEALED
+//     image (there it provably equals the sealed epoch). An unsealed image
+//     with a corrupt epoch line is unrepairable: the shadow's epoch may be
+//     one epoch stale, and restoring it would silently recover wrong state.
+//   - On a sealed image, primary structures (header, epoch, segment-state
+//     arrays, pairing table) and the shadow copy repair each other:
+//     whichever side fails its CRCs is rewritten from the side that
+//     verifies. If the contents agree but a CRC word itself is damaged,
+//     the CRC words are recomputed.
+//
+// Repair is idempotent and never panics on arbitrary images; it returns
+// ErrUnrepairable (possibly wrapped) when no consistent state can be
+// re-established.
+func Repair(dev *nvm.Device, l *Layout) (RepairReport, error) {
+	var rep RepairReport
+	if !l.ck && !DetectChecksums(dev, l) {
+		return rep, fmt.Errorf("%w: container has no checksum extension to repair from", ErrUnrepairable)
+	}
+	l = l.withChecksums(true)
+	if dev.Size() < l.DeviceSize() {
+		return rep, fmt.Errorf("%w: device %d bytes, checksummed layout needs %d", ErrUnrepairable, dev.Size(), l.DeviceSize())
+	}
+	m := &Meta{dev: dev, l: l}
+	w := dev.Working()
+	ext := w[l.extOff : l.extOff+nvm.LineSize]
+
+	sealOK := binary.LittleEndian.Uint64(ext[extOffMagic:]) == ExtMagic &&
+		crc64.Checksum(ext[:extOffSealCRC], crcTable) == binary.LittleEndian.Uint64(ext[extOffSealCRC:])
+	flags := binary.LittleEndian.Uint64(ext[extOffSealFlags:])
+	if sealOK && flags != sealSealed && flags != sealUnsealed {
+		sealOK = false
+	}
+
+	if !sealOK {
+		// Seal line corrupt. The epoch must self-validate for the rebuilt
+		// unsealed image to be trustworthy.
+		if !epochCRCOK(w) {
+			return rep, fmt.Errorf("%w: seal line and committed epoch both corrupt", ErrUnrepairable)
+		}
+		m.rewriteExtLine(binary.LittleEndian.Uint64(w[offCommitted:]), sealUnsealed)
+		rep.Actions = append(rep.Actions, "seal line rebuilt as unsealed (protocol recovery will re-seal)")
+		return rep, nil
+	}
+
+	if flags == sealUnsealed {
+		if !epochCRCOK(w) {
+			return rep, fmt.Errorf("%w: unsealed image with corrupt committed epoch (shadow epoch may be stale)", ErrUnrepairable)
+		}
+		// Legally mid-epoch: arrays and shadow carry no verifiable state.
+		return rep, nil
+	}
+
+	// Sealed image: primary and shadow repair each other.
+	shadow, shOK := shadowImage(w, l)
+	primary := primaryImage(w, l)
+	primaryOK := len(validateChecksumsPrimary(dev, l)) == 0
+
+	switch {
+	case primaryOK && shOK && bytes.Equal(shadow[:len(shadow)-16], primary):
+		return rep, nil
+	case primaryOK:
+		m.writeShadow(binary.LittleEndian.Uint64(w[offCommitted:]))
+		dev.FlushRange(l.shadowOff, l.shadowLen)
+		dev.SFence()
+		rep.Actions = append(rep.Actions, "shadow metadata copy rebuilt from verified primary")
+	case shOK:
+		if se := binary.LittleEndian.Uint64(shadow[len(shadow)-16:]); se != binary.LittleEndian.Uint64(ext[extOffSealEpoch:]) {
+			return rep, fmt.Errorf("%w: shadow sealed at epoch %d, seal line says %d", ErrUnrepairable,
+				se, binary.LittleEndian.Uint64(ext[extOffSealEpoch:]))
+		}
+		if bytes.Equal(shadow[:len(shadow)-16], primary) {
+			// Structures agree; the damaged bytes are the CRC words.
+			m.rewriteExtLine(binary.LittleEndian.Uint64(ext[extOffSealEpoch:]), sealSealed)
+			rep.Actions = append(rep.Actions, "checksum words recomputed from intact structures")
+		} else {
+			dev.StoreBulk(0, shadow[:len(shadow)-16])
+			dev.FlushRange(0, len(shadow)-16)
+			dev.SFence()
+			m.rewriteExtLine(binary.LittleEndian.Uint64(ext[extOffSealEpoch:]), sealSealed)
+			rep.Actions = append(rep.Actions, "primary metadata restored from verified shadow copy")
+		}
+	default:
+		return rep, fmt.Errorf("%w: primary metadata and shadow copy both corrupt", ErrUnrepairable)
+	}
+
+	if issues := validateChecksums(dev, l); len(issues) > 0 {
+		return rep, fmt.Errorf("%w: still invalid after repair: %s", ErrUnrepairable, strings.Join(issues, "; "))
+	}
+	return rep, nil
+}
+
+// rewriteExtLine rebuilds the whole extension line — seal words for the
+// given state plus structure CRC words recomputed from the current primary
+// content — and makes it durable.
+func (m *Meta) rewriteExtLine(epoch, state uint64) {
+	hdr, seg0, seg1, pairs := m.structCRCs()
+	var line [64]byte
+	sw := sealWords(epoch, state)
+	copy(line[:32], sw[:])
+	binary.LittleEndian.PutUint64(line[extOffCRCHeader:], hdr)
+	binary.LittleEndian.PutUint64(line[extOffCRCSeg0:], seg0)
+	binary.LittleEndian.PutUint64(line[extOffCRCSeg1:], seg1)
+	binary.LittleEndian.PutUint64(line[extOffCRCPairs:], pairs)
+	m.dev.Store(m.l.extOff, line[:])
+	m.dev.FlushRange(m.l.extOff, len(line))
+	m.dev.SFence()
+}
+
+// validateChecksumsPrimary checks only the primary structures of a sealed
+// image (epoch inline CRC, header/array/pairing CRCs, seal epoch match) —
+// the shadow is judged separately by the caller.
+func validateChecksumsPrimary(dev *nvm.Device, l *Layout) []string {
+	var issues []string
+	w := dev.Working()
+	ext := w[l.extOff : l.extOff+nvm.LineSize]
+	if !epochCRCOK(w) {
+		issues = append(issues, "epoch CRC")
+	}
+	epoch := binary.LittleEndian.Uint64(w[offCommitted:])
+	if se := binary.LittleEndian.Uint64(ext[extOffSealEpoch:]); se != epoch {
+		issues = append(issues, "seal epoch")
+	}
+	m := &Meta{dev: dev, l: l}
+	hdr, seg0, seg1, pairs := m.structCRCs()
+	for _, c := range []struct {
+		name string
+		got  uint64
+		off  int
+	}{
+		{"header CRC", hdr, extOffCRCHeader},
+		{"seg_state[0] CRC", seg0, extOffCRCSeg0},
+		{"seg_state[1] CRC", seg1, extOffCRCSeg1},
+		{"backup_to_main CRC", pairs, extOffCRCPairs},
+	} {
+		if binary.LittleEndian.Uint64(ext[c.off:]) != c.got {
+			issues = append(issues, c.name)
+		}
+	}
+	return issues
+}
