@@ -16,7 +16,8 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/mpi/ ./internal/apps/... .
+	$(GO) test -race ./internal/core/ ./internal/mpi/ ./internal/apps/... ./internal/sched/ ./internal/torture/ .
+	$(GO) test -race -short ./internal/harness/
 
 cover:
 	$(GO) test -cover ./...

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -105,7 +106,20 @@ func run() int {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the experiments finish) to this file")
+	parallel := flag.Int("parallel", 0, "experiment cells in flight (0 = GOMAXPROCS, 1 = serial); tables are byte-identical at any setting")
+	jsonOut := flag.Bool("json", false, "also write a BENCH_<scale>.json perf trajectory (wall-clock per experiment, simulated-clock and checkpoint-byte metrics)")
+	progress := flag.Bool("progress", false, "report sweep progress (cells done/total) on stderr")
 	flag.Parse()
+
+	harness.SetParallelism(*parallel)
+	if *progress {
+		harness.SetProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		})
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -172,6 +186,8 @@ func run() int {
 		}
 	}
 
+	var traj benchTrajectory
+	runStart := time.Now()
 	for _, e := range selected {
 		start := time.Now()
 		tables, err := e.run(sc)
@@ -189,6 +205,63 @@ func run() int {
 		if *format != "csv" {
 			fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 		}
+		traj.add(e.name, time.Since(start), tables)
+	}
+	if *jsonOut {
+		path := fmt.Sprintf("BENCH_%s.json", sc.Name)
+		if err := traj.write(path, sc.Name, *parallel, time.Since(runStart)); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 	return 0
+}
+
+// benchTrajectory accumulates the -json perf record: per-experiment
+// wall-clock plus whatever machine-readable metrics the tables collected
+// (simulated-clock totals, checkpoint bytes per op). Subsequent PRs diff
+// these files to catch harness performance regressions.
+type benchTrajectory struct {
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+type benchExperiment struct {
+	Name   string       `json:"name"`
+	WallMS float64      `json:"wall_ms"`
+	Tables []benchTable `json:"tables"`
+}
+
+type benchTable struct {
+	Title   string             `json:"title"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func (tr *benchTrajectory) add(name string, wall time.Duration, tables []harness.Table) {
+	e := benchExperiment{Name: name, WallMS: float64(wall.Microseconds()) / 1000}
+	for _, t := range tables {
+		e.Tables = append(e.Tables, benchTable{Title: t.Title, Metrics: t.Metrics})
+	}
+	tr.Experiments = append(tr.Experiments, e)
+}
+
+func (tr *benchTrajectory) write(path, scale string, parallel int, total time.Duration) error {
+	out := struct {
+		Scale       string            `json:"scale"`
+		Parallel    int               `json:"parallel"`
+		GOMAXPROCS  int               `json:"gomaxprocs"`
+		TotalWallMS float64           `json:"total_wall_ms"`
+		Experiments []benchExperiment `json:"experiments"`
+	}{
+		Scale:       scale,
+		Parallel:    parallel,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		TotalWallMS: float64(total.Microseconds()) / 1000,
+		Experiments: tr.Experiments,
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

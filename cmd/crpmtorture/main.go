@@ -31,6 +31,7 @@ func main() {
 	checksums := flag.Bool("checksums", true, "run with the metadata checksum extension")
 	adversarial := flag.Bool("adversarial", false, "add the alternating per-line adversary policy")
 	liveness := flag.Bool("liveness", true, "verify each recovered container still checkpoints")
+	parallel := flag.Int("parallel", 0, "crash-point replays in flight (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
 	flag.Parse()
 
 	cfg := torture.Config{
@@ -40,6 +41,7 @@ func main() {
 		Stride:    *stride,
 		Checksums: *checksums,
 		Liveness:  *liveness,
+		Parallel:  *parallel,
 		Progress: func(mode, policy string, points, violations int) {
 			fmt.Printf("%-10s %-12s %5d crash points  %d violations\n", mode, policy, points, violations)
 		},

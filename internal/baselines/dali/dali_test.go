@@ -1,10 +1,12 @@
 package dali
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/sched"
 )
 
 func cfg() Config { return Config{Buckets: 256, Capacity: 8192} }
@@ -280,13 +282,22 @@ func TestCrashSweepInsideEpochPersist(t *testing.T) {
 	s := ref.Device().Stats()
 	total := s.Stores + s.Loads + s.CLWBs + s.SFences + s.NTStoreBytes/64
 
+	stride := total/80 + 1
+	var fails []int64
+	for fail := int64(1); fail < total; fail += stride {
+		fails = append(fails, fail)
+	}
 	for _, pol := range crashPolicies {
-		crashRng := rand.New(rand.NewSource(9))
-		stride := total/80 + 1
-		for fail := int64(1); fail < total; fail += stride {
+		// Independent sched cells, one per crash point; the seeded schedule
+		// hashes the cell identity instead of sharing a loop-order rng. A
+		// cell whose countdown never fires (the serial loop's break case —
+		// this run consumed fewer primitives than the reference) verifies
+		// nothing and passes.
+		_, err := sched.MapErr(len(fails), sched.Options{}, func(ci int) (struct{}, error) {
+			fail := fails[ci]
 			m, err := New(cfgS)
 			if err != nil {
-				t.Fatal(err)
+				return struct{}{}, err
 			}
 			committed := shadowT{}
 			crashed := func() (c bool) {
@@ -304,16 +315,17 @@ func TestCrashSweepInsideEpochPersist(t *testing.T) {
 			}()
 			m.Device().FailAfter(-1)
 			if !crashed {
-				break
+				return struct{}{}, nil
 			}
 			if pol.policy != nil {
 				m.Device().CrashWith(pol.policy)
 			} else {
-				m.Device().Crash(crashRng)
+				seed := sched.SeedFor(fmt.Sprintf("dali/%s/%d", pol.name, fail))
+				m.Device().Crash(rand.New(rand.NewSource(seed)))
 			}
 			m2, err := Open(cfgS, m.Device())
 			if err != nil {
-				t.Fatalf("%s fail %d: %v", pol.name, fail, err)
+				return struct{}{}, fmt.Errorf("%s fail %d: %v", pol.name, fail, err)
 			}
 			// A crash inside EpochPersist may land before or after the commit;
 			// the recovered map must at least contain every pair of the last
@@ -322,7 +334,7 @@ func TestCrashSweepInsideEpochPersist(t *testing.T) {
 			for k, v := range committed {
 				got, ok := m2.Get(k)
 				if !ok {
-					t.Fatalf("%s fail %d: committed key %d lost", pol.name, fail, k)
+					return struct{}{}, fmt.Errorf("%s fail %d: committed key %d lost", pol.name, fail, k)
 				}
 				if got != v {
 					// Legal only if a newer epoch committed in-flight; then the
@@ -332,15 +344,19 @@ func TestCrashSweepInsideEpochPersist(t *testing.T) {
 				}
 			}
 			if m2.Len() > 48 {
-				t.Fatalf("%s fail %d: %d keys recovered, more than ever written", pol.name, fail, m2.Len())
+				return struct{}{}, fmt.Errorf("%s fail %d: %d keys recovered, more than ever written", pol.name, fail, m2.Len())
 			}
 			// Map keeps working after recovery.
 			if err := m2.Put(100, 1); err != nil {
-				t.Fatal(err)
+				return struct{}{}, err
 			}
 			if err := m2.EpochPersist(); err != nil {
-				t.Fatal(err)
+				return struct{}{}, err
 			}
+			return struct{}{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

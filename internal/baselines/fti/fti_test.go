@@ -3,10 +3,12 @@ package fti
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/sched"
 )
 
 func writeU64(b *Backend, off int, v uint64) {
@@ -63,13 +65,21 @@ func TestCheckpointCrashRecover(t *testing.T) {
 }
 
 func TestDoubleBufferSurvivesCrashMidCheckpoint(t *testing.T) {
+	var fails []int64
+	for fail := int64(10); fail < 1200; fail += 53 {
+		fails = append(fails, fail)
+	}
 	for _, cfg := range configs(32 * 1024) {
 		for _, pol := range crashPolicies {
-			rng := rand.New(rand.NewSource(17))
-			for fail := int64(10); fail < 1200; fail += 53 {
+			// Each crash point is an independent sched cell with its own
+			// backend; the seeded schedule hashes the cell's identity instead
+			// of consuming a loop-shared rng, so its coin flips don't depend
+			// on sweep order or worker count.
+			_, err := sched.MapErr(len(fails), sched.Options{}, func(ci int) (struct{}, error) {
+				fail := fails[ci]
 				b, err := New(cfg)
 				if err != nil {
-					t.Fatal(err)
+					return struct{}{}, err
 				}
 				shadows := map[uint32][]byte{0: make([]byte, b.Size())}
 				epoch := uint32(0)
@@ -100,20 +110,25 @@ func TestDoubleBufferSurvivesCrashMidCheckpoint(t *testing.T) {
 				if pol.policy != nil {
 					b.Device().CrashWith(pol.policy)
 				} else {
-					b.Device().Crash(rng)
+					seed := sched.SeedFor(fmt.Sprintf("fti/%s/%s/%d", b.Name(), pol.name, fail))
+					b.Device().Crash(rand.New(rand.NewSource(seed)))
 				}
 				b2, err := Open(cfg, b.Device())
 				if err != nil {
-					t.Fatal(err)
+					return struct{}{}, err
 				}
 				e, _ := b2.commit()
 				want, ok := shadows[e]
 				if !ok {
-					t.Fatalf("%s/%s fail %d: recovered to unseen epoch %d", b.Name(), pol.name, fail, e)
+					return struct{}{}, fmt.Errorf("%s/%s fail %d: recovered to unseen epoch %d", b.Name(), pol.name, fail, e)
 				}
 				if !bytes.Equal(b2.Bytes(), want) {
-					t.Fatalf("%s/%s fail %d: recovered state differs from epoch %d", b.Name(), pol.name, fail, e)
+					return struct{}{}, fmt.Errorf("%s/%s fail %d: recovered state differs from epoch %d", b.Name(), pol.name, fail, e)
 				}
+				return struct{}{}, nil
+			})
+			if err != nil {
+				t.Fatal(err)
 			}
 		}
 	}

@@ -3,10 +3,12 @@ package lmc
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/sched"
 )
 
 func writeU64(b *Backend, off int, v uint64) {
@@ -139,12 +141,18 @@ func TestRandomizedCrashRecovery(t *testing.T) {
 
 func TestCrashSweepInsideProtocol(t *testing.T) {
 	size := 16 * 1024
+	var fails []int64
+	for fail := int64(5); fail < 2500; fail += 31 {
+		fails = append(fails, fail)
+	}
 	for _, pol := range crashPolicies {
-		rng := rand.New(rand.NewSource(5))
-		for fail := int64(5); fail < 2500; fail += 31 {
+		// Independent sched cells, one per crash point; the seeded schedule
+		// hashes the cell identity instead of sharing a loop-order rng.
+		_, err := sched.MapErr(len(fails), sched.Options{}, func(ci int) (struct{}, error) {
+			fail := fails[ci]
 			b, err := New(size)
 			if err != nil {
-				t.Fatal(err)
+				return struct{}{}, err
 			}
 			shadows := map[uint64][]byte{0: make([]byte, size)}
 			epoch := uint64(0)
@@ -175,20 +183,25 @@ func TestCrashSweepInsideProtocol(t *testing.T) {
 			if pol.policy != nil {
 				b.Device().CrashWith(pol.policy)
 			} else {
-				b.Device().Crash(rng)
+				seed := sched.SeedFor(fmt.Sprintf("lmc/%s/%d", pol.name, fail))
+				b.Device().Crash(rand.New(rand.NewSource(seed)))
 			}
 			b2, err := Open(size, b.Device())
 			if err != nil {
-				t.Fatal(err)
+				return struct{}{}, err
 			}
 			e := b2.committed()
 			want, ok := shadows[e]
 			if !ok {
-				t.Fatalf("%s fail %d: recovered to unseen epoch %d", pol.name, fail, e)
+				return struct{}{}, fmt.Errorf("%s fail %d: recovered to unseen epoch %d", pol.name, fail, e)
 			}
 			if !bytes.Equal(b2.Bytes(), want) {
-				t.Fatalf("%s fail %d: recovered state differs from epoch %d", pol.name, fail, e)
+				return struct{}{}, fmt.Errorf("%s fail %d: recovered state differs from epoch %d", pol.name, fail, e)
 			}
+			return struct{}{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

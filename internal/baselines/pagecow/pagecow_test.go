@@ -3,10 +3,12 @@ package pagecow
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/sched"
 )
 
 func mprotectCfg(size int) Config {
@@ -139,11 +141,14 @@ func TestMprotectWriteAmplification(t *testing.T) {
 func TestRandomizedCrashSweep(t *testing.T) {
 	cfg := mprotectCfg(32 * 1024)
 	for _, pol := range crashPolicies {
-		rng := rand.New(rand.NewSource(3))
-		for trial := 0; trial < 15; trial++ {
+		// Independent sched cells, one per trial; each trial's rng (workload
+		// shape, crash point, and coin flips) is seeded from the trial's
+		// identity rather than shared across the loop.
+		_, err := sched.MapErr(15, sched.Options{}, func(trial int) (struct{}, error) {
+			rng := rand.New(rand.NewSource(sched.SeedFor(fmt.Sprintf("pagecow/%s/%d", pol.name, trial))))
 			b, err := New(cfg)
 			if err != nil {
-				t.Fatal(err)
+				return struct{}{}, err
 			}
 			shadows := map[uint64][]byte{0: make([]byte, b.Size())}
 			epoch := uint64(0)
@@ -180,16 +185,20 @@ func TestRandomizedCrashSweep(t *testing.T) {
 			}
 			b2, err := Open(cfg, b.Device())
 			if err != nil {
-				t.Fatal(err)
+				return struct{}{}, err
 			}
 			e := binary.LittleEndian.Uint64(b.Device().Working()[offCommitted:])
 			want, ok := shadows[e]
 			if !ok {
-				t.Fatalf("%s trial %d: recovered to unseen epoch %d", pol.name, trial, e)
+				return struct{}{}, fmt.Errorf("%s trial %d: recovered to unseen epoch %d", pol.name, trial, e)
 			}
 			if !bytes.Equal(b2.Bytes(), want) {
-				t.Fatalf("%s trial %d: recovered state differs from epoch %d", pol.name, trial, e)
+				return struct{}{}, fmt.Errorf("%s trial %d: recovered state differs from epoch %d", pol.name, trial, e)
 			}
+			return struct{}{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -3,10 +3,12 @@ package undolog
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/sched"
 )
 
 func writeU64(b *Backend, off int, v uint64) {
@@ -118,12 +120,18 @@ func TestCrashSweepInsideProtocol(t *testing.T) {
 	// Crash at every stride-th device primitive, including inside record
 	// appends and inside the checkpoint itself.
 	size := 16 * 1024
+	var fails []int64
+	for fail := int64(5); fail < 3000; fail += 37 {
+		fails = append(fails, fail)
+	}
 	for _, pol := range crashPolicies {
-		rng := rand.New(rand.NewSource(21))
-		for fail := int64(5); fail < 3000; fail += 37 {
+		// Independent sched cells, one per crash point; the seeded schedule
+		// hashes the cell identity instead of sharing a loop-order rng.
+		_, err := sched.MapErr(len(fails), sched.Options{}, func(ci int) (struct{}, error) {
+			fail := fails[ci]
 			b, err := New(size)
 			if err != nil {
-				t.Fatal(err)
+				return struct{}{}, err
 			}
 			shadows := map[uint32][]byte{0: make([]byte, size)}
 			epoch := uint32(0)
@@ -154,20 +162,25 @@ func TestCrashSweepInsideProtocol(t *testing.T) {
 			if pol.policy != nil {
 				b.Device().CrashWith(pol.policy)
 			} else {
-				b.Device().Crash(rng)
+				seed := sched.SeedFor(fmt.Sprintf("undolog/%s/%d", pol.name, fail))
+				b.Device().Crash(rand.New(rand.NewSource(seed)))
 			}
 			b2, err := Open(size, b.Device())
 			if err != nil {
-				t.Fatal(err)
+				return struct{}{}, err
 			}
 			e, _ := b2.commitHead()
 			want, ok := shadows[e]
 			if !ok {
-				t.Fatalf("%s fail %d: recovered to unseen epoch %d", pol.name, fail, e)
+				return struct{}{}, fmt.Errorf("%s fail %d: recovered to unseen epoch %d", pol.name, fail, e)
 			}
 			if !bytes.Equal(b2.Bytes(), want) {
-				t.Fatalf("%s fail %d: recovered state differs from epoch %d", pol.name, fail, e)
+				return struct{}{}, fmt.Errorf("%s fail %d: recovered state differs from epoch %d", pol.name, fail, e)
 			}
+			return struct{}{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

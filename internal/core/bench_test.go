@@ -45,6 +45,40 @@ func BenchmarkInstrumentedWrite(b *testing.B) {
 	}
 }
 
+// BenchmarkOnWriteMemo isolates the OnWrite hook itself on three store
+// patterns: same-block (the last-hit memo elides the bitmap work entirely),
+// alternating between two blocks (every call misses the memo and pays the
+// already-dirty bitmap test), and a sequential byte walk (runs of hits
+// punctuated by one miss per block boundary).
+func BenchmarkOnWriteMemo(b *testing.B) {
+	for _, mode := range []Mode{ModeDefault, ModeBuffered} {
+		blk := 256
+		patterns := []struct {
+			name string
+			off  func(i int) int
+		}{
+			{"same-block", func(int) int { return 0 }},
+			{"alternating", func(i int) int { return (i % 2) * blk }},
+			{"sequential", func(i int) int { return (i * 8) % (4 * blk) }},
+		}
+		for _, p := range patterns {
+			b.Run(mode.String()+"/"+p.name, func(b *testing.B) {
+				_, c := benchContainer(b, mode)
+				// Warm every block the pattern touches so only the
+				// steady-state hook is measured.
+				for off := 0; off < 4*blk; off += blk {
+					c.OnWrite(off, 8)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.OnWrite(p.off(i), 8)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFirstTouchCoW measures the cold path: the first write to a clean
 // committed segment, which triggers segment-level copy-on-write.
 func BenchmarkFirstTouchCoW(b *testing.B) {

@@ -13,6 +13,9 @@ func (c *Container) Checkpoint() error {
 	clock := c.dev.Clock()
 	prev := clock.SetCategory(nvm.CatCheckpoint)
 	defer clock.SetCategory(prev)
+	// The checkpoint clears dirty state (including eager CoW's per-segment
+	// resets), so the OnWrite last-hit memo is stale from here on.
+	c.lastBlk = -1
 	if c.opts.Mode == ModeBuffered {
 		return c.checkpointBuffered()
 	}

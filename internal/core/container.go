@@ -98,10 +98,17 @@ type Container struct {
 	allocMu sync.Mutex
 
 	// Volatile (DRAM) protocol state. Rebuilt from metadata at recovery.
-	dirtyBlocks  *bitmap.Set // blocks modified since their segment's last CoW
-	dirtySegs    *bitmap.Set // segments modified in the current epoch
-	mainToBackup []uint32    // inverse of the persistent backup_to_main array
-	freeBackups  []uint32    // backup segments with no pairing
+	dirtyBlocks *bitmap.Set // blocks modified since their segment's last CoW
+	dirtySegs   *bitmap.Set // segments modified in the current epoch
+	// lastBlk memoizes the block the previous OnWrite marked dirty
+	// (-1 = none this epoch). A write falling entirely inside it needs no
+	// segment CoW test and no bitmap Set — only the elided-hook charge the
+	// already-dirty path pays — so sequential and repeated stores skip the
+	// bookkeeping. Must be reset whenever dirty state is cleared
+	// (checkpoint, recovery).
+	lastBlk      int
+	mainToBackup []uint32 // inverse of the persistent backup_to_main array
+	freeBackups  []uint32 // backup segments with no pairing
 
 	// Buffered-mode state.
 	buf           []byte      // DRAM working buffer
@@ -211,6 +218,7 @@ func newContainer(dev *nvm.Device, meta *region.Meta, l *region.Layout, opts Opt
 		segLocks:     make([]sync.Mutex, l.NMain),
 		dirtyBlocks:  bitmap.New(l.TotalBlocks()),
 		dirtySegs:    bitmap.New(l.NMain),
+		lastBlk:      -1,
 		mainToBackup: make([]uint32, l.NMain),
 		freeBackups:  make([]uint32, 0, l.NBackup),
 	}
@@ -304,9 +312,21 @@ func (c *Container) OnWrite(off, n int) {
 		defer c.writeMu.Unlock()
 	}
 	clock := c.dev.Clock()
+	first, last := c.l.BlockOf(off), c.l.BlockOf(off+n-1)
+	// Last-hit memoization: sequential and repeated stores land in the
+	// block the previous OnWrite already marked dirty, where both branches
+	// below would take their already-dirty path anyway. Charge that path's
+	// elided-hook cost and skip the CoW test and bitmap walk. lastBlk is
+	// reset wherever dirty state is cleared, so a hit proves the block (and
+	// its segment) is still dirty this epoch.
+	if first == c.lastBlk && last == c.lastBlk {
+		prev := clock.SetCategory(nvm.CatTrace)
+		clock.Advance(c.dev.Cost().HookPS / 4)
+		clock.SetCategory(prev)
+		return
+	}
 	prev := clock.SetCategory(nvm.CatTrace)
 	if c.opts.Mode == ModeBuffered {
-		first, last := c.l.BlockOf(off), c.l.BlockOf(off+n-1)
 		for b := first; b <= last; b++ {
 			if c.curDirty.Set(b) {
 				// First touch of the block this epoch: full hook work.
@@ -320,6 +340,7 @@ func (c *Container) OnWrite(off, n int) {
 				clock.Advance(c.dev.Cost().HookPS / 4)
 			}
 		}
+		c.lastBlk = last
 		clock.SetCategory(prev)
 		return
 	}
@@ -329,7 +350,6 @@ func (c *Container) OnWrite(off, n int) {
 			c.copyOnWrite(s)
 		}
 	}
-	first, last := c.l.BlockOf(off), c.l.BlockOf(off+n-1)
 	for b := first; b <= last; b++ {
 		if c.dirtyBlocks.Set(b) {
 			c.dev.ChargeHook()
@@ -338,6 +358,7 @@ func (c *Container) OnWrite(off, n int) {
 			clock.Advance(c.dev.Cost().HookPS / 4)
 		}
 	}
+	c.lastBlk = last
 	clock.SetCategory(prev)
 }
 

@@ -81,6 +81,7 @@ func (c *Container) Recover() error {
 	c.rebuildPairings()
 	c.dirtyBlocks.ClearAll()
 	c.dirtySegs.ClearAll()
+	c.lastBlk = -1
 	c.lastRecovery = RecoveryPhases{ResyncPS: clock.NowPS() - startPS}
 
 	if c.opts.Mode == ModeBuffered {

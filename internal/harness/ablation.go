@@ -11,6 +11,7 @@ import (
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/pds"
 	"libcrpm/internal/region"
+	"libcrpm/internal/sched"
 	"libcrpm/internal/workload"
 )
 
@@ -57,29 +58,35 @@ func AblationEagerCoW(sc Scale) (Table, error) {
 		Title:  fmt.Sprintf("Ablation: eager checkpoint-period CoW (unordered_map, balanced, %s scale)", sc.Name),
 		Header: []string{"variant", "Mops/s", "sfences/epoch"},
 	}
-	for _, v := range []struct {
+	variants := []struct {
 		name  string
 		eager int
-	}{{"eager (paper default)", 0}, {"lazy (disabled)", -1}} {
+	}{{"eager (paper default)", 0}, {"lazy (disabled)", -1}}
+	rows, err := sched.MapErr(len(variants), pool(), func(i int) ([]string, error) {
+		v := variants[i]
 		s, err := newCrpmSetup(sc, core.Options{Mode: core.ModeDefault, EagerCoWSegments: v.eager})
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		fBefore := s.Dev.Stats().SFences
 		res, err := runBalanced(s, sc, 21)
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		epochs := res.Epochs
 		if epochs == 0 {
 			epochs = 1
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			v.name,
 			fmtF(res.Throughput/1e6, 3),
 			fmtF(float64(s.Dev.Stats().SFences-fBefore)/float64(epochs), 1),
-		})
+		}, nil
+	})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -92,31 +99,37 @@ func AblationDifferentialCopy(sc Scale) (Table, error) {
 		Title:  fmt.Sprintf("Ablation: differential vs full-segment CoW (segment %s, balanced, %s scale)", byteSize(seg), sc.Name),
 		Header: []string{"variant", "Mops/s", "CoW MB/epoch"},
 	}
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		blk  int
-	}{{"differential (256B blocks)", 256}, {"full segment copies", seg}} {
+	}{{"differential (256B blocks)", 256}, {"full segment copies", seg}}
+	rows, err := sched.MapErr(len(variants), pool(), func(i int) ([]string, error) {
+		v := variants[i]
 		s, err := newCrpmSetup(sc, core.Options{
 			Mode:   core.ModeDefault,
 			Region: region.Config{SegmentSize: seg, BlockSize: v.blk},
 		})
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		res, err := runBalanced(s, sc, 22)
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		epochs := res.Epochs
 		if epochs == 0 {
 			epochs = 1
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			v.name,
 			fmtF(res.Throughput/1e6, 3),
 			fmtF(float64(s.Container.CoWBytes())/float64(epochs)/(1<<20), 2),
-		})
+		}, nil
+	})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -127,34 +140,40 @@ func AblationFlushThreshold(sc Scale) (Table, error) {
 		Title:  fmt.Sprintf("Ablation: checkpoint flush path (unordered_map, balanced, %s scale)", sc.Name),
 		Header: []string{"variant", "Mops/s", "wbinvd/epoch", "clwb/epoch"},
 	}
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		llc  int
 	}{
 		{"clwb loop (LLC threshold high)", 1 << 30},
 		{"wbinvd always (threshold 1B)", 1},
-	} {
+	}
+	rows, err := sched.MapErr(len(variants), pool(), func(i int) ([]string, error) {
+		v := variants[i]
 		s, err := newCrpmSetup(sc, core.Options{Mode: core.ModeDefault, LLCSize: v.llc})
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		stBefore := s.Dev.Stats()
 		res, err := runBalanced(s, sc, 23)
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		epochs := res.Epochs
 		if epochs == 0 {
 			epochs = 1
 		}
 		d := s.Dev.Stats().Sub(stBefore)
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			v.name,
 			fmtF(res.Throughput/1e6, 3),
 			fmtF(float64(d.WBINVDs)/float64(epochs), 2),
 			fmtF(float64(d.CLWBs)/float64(epochs), 0),
-		})
+		}, nil
+	})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -174,16 +193,18 @@ func AblationBackupRatio(sc Scale) (Table, error) {
 	if window < 1 {
 		window = 1
 	}
-	for _, ratio := range []float64{1.0, 0.5, 0.25} {
+	ratios := []float64{1.0, 0.5, 0.25}
+	rows, err := sched.MapErr(len(ratios), pool(), func(i int) ([]string, error) {
+		ratio := ratios[i]
 		reg := region.Config{HeapSize: sc.HeapSize, SegmentSize: segSize, BlockSize: 256, BackupRatio: ratio}
 		l, err := region.NewLayout(reg)
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		dev := nvm.NewDevice(l.DeviceSize())
 		ctr, err := core.NewContainer(dev, core.Options{Mode: core.ModeDefault, Region: reg})
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		var buf [8]byte
 		const epochs = 24
@@ -198,16 +219,20 @@ func AblationBackupRatio(sc Scale) (Table, error) {
 				}
 			}
 			if err := ctr.Checkpoint(); err != nil {
-				return t, fmt.Errorf("ratio %v: %w", ratio, err)
+				return nil, fmt.Errorf("ratio %v: %w", ratio, err)
 			}
 		}
 		perEpoch := time.Duration((dev.Clock().NowPS() - start) / epochs / 1000)
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmtF(ratio, 2),
 			fmtDur(perEpoch),
 			byteSize(ctr.NVMFootprint()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"smaller ratios trade NVM capacity for stealing/evacuation copies; an epoch that dirties more segments than the backup region holds fails by design (§3.3)")
 	return t, nil
@@ -228,38 +253,39 @@ func AblationFTIIncremental(sc Scale) (Table, error) {
 	if sc.Interval <= 0 {
 		sc.Interval = 1
 	}
-	for _, inc := range []bool{false, true} {
-		b, err := fti.New(fti.Config{HeapSize: sc.HeapSize, Incremental: inc})
+	incs := []bool{false, true}
+	rows, err := sched.MapErr(len(incs), pool(), func(i int) ([]string, error) {
+		b, err := fti.New(fti.Config{HeapSize: sc.HeapSize, Incremental: incs[i]})
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		a, err := alloc.Format(heap.New(b))
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		kv, err := pds.NewHashMap(a, sc.Buckets)
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		s := &DSSetup{System: b.Name(), KV: kv, Dev: b.Device(), Checkpoint: b.Checkpoint, Backend: b}
 		d := s.Driver(sc, 25)
 		if err := d.Populate(sc.Keys); err != nil {
-			return t, err
+			return nil, err
 		}
 		clock := s.Dev.Clock()
 		// Pre-fill both slots so the steady state is measured.
 		if err := b.Checkpoint(); err != nil {
-			return t, err
+			return nil, err
 		}
 		if err := b.Checkpoint(); err != nil {
-			return t, err
+			return nil, err
 		}
 		bytesBase := b.Metrics().CheckpointBytes
 		ckptBase := clock.CategoryPS(nvm.CatCheckpoint)
 		start := clock.NowPS()
 		res, err := d.Run(workload.Balanced, sc.Ops)
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		epochs := res.Epochs
 		if epochs == 0 {
@@ -267,13 +293,17 @@ func AblationFTIIncremental(sc Scale) (Table, error) {
 		}
 		total := clock.NowPS() - start
 		share := float64(clock.CategoryPS(nvm.CatCheckpoint)-ckptBase) / float64(total) * 100
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			b.Name(),
 			fmtF(res.Throughput/1e6, 3),
 			fmtF(float64(b.Metrics().CheckpointBytes-bytesBase)/float64(epochs)/(1<<20), 2),
 			fmtF(share, 1),
-		})
+		}, nil
+	})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -285,22 +315,28 @@ func AblationBufferedVsDefault(sc Scale) (Table, error) {
 		Title:  fmt.Sprintf("Ablation: libcrpm default vs buffered mode (unordered_map, %s scale)", sc.Name),
 		Header: []string{"mode", "Balanced Mops/s", "ckpt bytes/op", "DRAM footprint"},
 	}
-	for _, mode := range []core.Mode{core.ModeDefault, core.ModeBuffered} {
+	modes := []core.Mode{core.ModeDefault, core.ModeBuffered}
+	rows, err := sched.MapErr(len(modes), pool(), func(i int) ([]string, error) {
+		mode := modes[i]
 		s, err := newCrpmSetup(sc, core.Options{Mode: mode})
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		res, err := runBalanced(s, sc, 26)
 		if err != nil {
-			return t, err
+			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			mode.String(),
 			fmtF(res.Throughput/1e6, 3),
 			fmtF(float64(s.Container.Metrics().CheckpointBytes)/float64(sc.Ops), 1),
 			byteSize(s.Container.DRAMFootprint()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -326,26 +362,27 @@ func AblationEADR(sc Scale) (Table, error) {
 		}
 		return res.Throughput / 1e6, nil
 	}
-	adr := map[string]float64{}
-	for _, sys := range systems {
-		v, err := run(sys)
-		if err != nil {
-			return t, err
-		}
-		adr[sys] = v
+	// The default cost model is the only mutable global the experiment cells
+	// share, so the two phases stay strict barriers: every ADR cell finishes
+	// before the model is swapped, and every eADR cell runs under the swapped
+	// model before it is restored. Within a phase the cells are independent.
+	cell := func(i int) (float64, error) { return run(systems[i]) }
+	adr, err := sched.MapErr(len(systems), pool(), cell)
+	if err != nil {
+		return t, err
 	}
 	prev := nvm.SetDefaultCostModel(nvm.EADRCostModel())
 	defer nvm.SetDefaultCostModel(prev)
-	for _, sys := range systems {
-		v, err := run(sys)
-		if err != nil {
-			return t, err
-		}
+	eadr, err := sched.MapErr(len(systems), pool(), cell)
+	if err != nil {
+		return t, err
+	}
+	for i, sys := range systems {
 		t.Rows = append(t.Rows, []string{
 			sys,
-			fmtF(adr[sys], 3),
-			fmtF(v, 3),
-			fmtF(v/adr[sys], 2) + "x",
+			fmtF(adr[i], 3),
+			fmtF(eadr[i], 3),
+			fmtF(eadr[i]/adr[i], 2) + "x",
 		})
 	}
 	t.Notes = append(t.Notes, "eADR is modelled as a cost change only (flush/fence nearly free); crash semantics and protocols are unchanged")

@@ -15,6 +15,7 @@ import (
 	"libcrpm/internal/mpi"
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/region"
+	"libcrpm/internal/sched"
 )
 
 // appRunner abstracts the three mini-apps for the harness.
@@ -203,43 +204,50 @@ func Fig8Apps(sc Scale) (Table, error) {
 		Title:  fmt.Sprintf("Figure 8: relative execution time of parallel apps, %d ranks, checkpoint every %d iterations (%s scale)", sc.Ranks, sc.CkptEvery, sc.Name),
 		Header: []string{"app", "dataset", "no-ckpt", "FTI", "libcrpm-Buffered", "crpm/FTI overhead"},
 	}
-	for _, spec := range appSpecs() {
-		for _, edge := range []int{sc.EdgeSmall, sc.EdgeLarge} {
-			iters := sc.AppItersS
-			if edge == sc.EdgeLarge {
-				iters = sc.AppItersL
-			}
-			base := runParallelApp(spec, sc, edge, iters, "none")
-			if base.err != nil {
-				return t, fmt.Errorf("%s base: %w", spec.name, base.err)
-			}
-			ftiRun := runParallelApp(spec, sc, edge, iters, "FTI")
-			if ftiRun.err != nil {
-				return t, fmt.Errorf("%s FTI: %w", spec.name, ftiRun.err)
-			}
-			crpmRun := runParallelApp(spec, sc, edge, iters, "libcrpm-Buffered")
-			if crpmRun.err != nil {
-				return t, fmt.Errorf("%s crpm: %w", spec.name, crpmRun.err)
-			}
-			rel := func(r appResult) float64 {
-				return float64(r.simTime) / float64(base.simTime)
-			}
-			ftiOver := rel(ftiRun) - 1
-			crpmOver := rel(crpmRun) - 1
-			ratio := "n/a"
-			if ftiOver > 0 {
-				ratio = fmtF(crpmOver/ftiOver*100, 1) + "%"
-			}
-			t.Rows = append(t.Rows, []string{
-				spec.name,
-				fmt.Sprintf("%d^3", edge),
-				"1.000",
-				fmtF(rel(ftiRun), 3),
-				fmtF(rel(crpmRun), 3),
-				ratio,
-			})
+	specs := appSpecs()
+	edges := []int{sc.EdgeSmall, sc.EdgeLarge}
+	// One cell per (app, dataset) row; the three runs inside a cell (base,
+	// FTI, libcrpm) stay sequential because the row normalizes to base.
+	rows, err := sched.MapErr(len(specs)*len(edges), pool(), func(i int) ([]string, error) {
+		spec, edge := specs[i/len(edges)], edges[i%len(edges)]
+		iters := sc.AppItersS
+		if edge == sc.EdgeLarge {
+			iters = sc.AppItersL
 		}
+		base := runParallelApp(spec, sc, edge, iters, "none")
+		if base.err != nil {
+			return nil, fmt.Errorf("%s base: %w", spec.name, base.err)
+		}
+		ftiRun := runParallelApp(spec, sc, edge, iters, "FTI")
+		if ftiRun.err != nil {
+			return nil, fmt.Errorf("%s FTI: %w", spec.name, ftiRun.err)
+		}
+		crpmRun := runParallelApp(spec, sc, edge, iters, "libcrpm-Buffered")
+		if crpmRun.err != nil {
+			return nil, fmt.Errorf("%s crpm: %w", spec.name, crpmRun.err)
+		}
+		rel := func(r appResult) float64 {
+			return float64(r.simTime) / float64(base.simTime)
+		}
+		ftiOver := rel(ftiRun) - 1
+		crpmOver := rel(crpmRun) - 1
+		ratio := "n/a"
+		if ftiOver > 0 {
+			ratio = fmtF(crpmOver/ftiOver*100, 1) + "%"
+		}
+		return []string{
+			spec.name,
+			fmt.Sprintf("%d^3", edge),
+			"1.000",
+			fmtF(rel(ftiRun), 3),
+			fmtF(rel(crpmRun), 3),
+			ratio,
+		}, nil
+	})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "crpm/FTI overhead = libcrpm's checkpoint overhead as a fraction of FTI's (the paper reports 44.78% for LULESH)")
 	return t, nil
 }
@@ -256,15 +264,19 @@ func RecoveryTime(sc Scale) (Table, error) {
 	// Recovery time is proportional to the program state (§5.5); the meshes
 	// are doubled relative to the throughput runs so the two states span
 	// different numbers of segments.
-	for _, edge := range []int{2 * sc.EdgeSmall, 2 * sc.EdgeLarge} {
+	edges := []int{2 * sc.EdgeSmall, 2 * sc.EdgeLarge}
+	rows, terr := sched.MapErr(len(edges), pool(), func(ci int) ([]string, error) {
+		edge := edges[ci]
 		run := runParallelApp(spec, sc, edge, sc.AppItersS, "libcrpm-Buffered")
 		if run.err != nil {
-			return t, run.err
+			return nil, run.err
 		}
-		// Kill: crash every rank's device mid-flight.
-		rng := rand.New(rand.NewSource(55))
-		for _, d := range run.devs {
-			d.Crash(rng)
+		// Kill: crash every rank's device mid-flight. Each rank's crash
+		// randomness is seeded from its own identity, not drawn from a
+		// loop-shared rng, so the damage a rank takes is a function of
+		// (dataset, rank) alone.
+		for rank, d := range run.devs {
+			d.Crash(rand.New(rand.NewSource(sched.SeedFor(fmt.Sprintf("recovery/%d/rank%d", edge, rank)))))
 		}
 		// Restart with coordinated recovery; measure the recovery category.
 		ranks := sc.Ranks
@@ -295,7 +307,7 @@ func RecoveryTime(sc Scale) (Table, error) {
 		})
 		for _, err := range errs {
 			if err != nil {
-				return t, err
+				return nil, err
 			}
 		}
 		var maxRec, sumResync, sumLoad int64
@@ -310,14 +322,18 @@ func RecoveryTime(sc Scale) (Table, error) {
 		if total == 0 {
 			total = 1
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%d^3", edge),
 			fmtDur(time.Duration(maxRec / 1000)),
 			fmtF(float64(sumResync)/float64(total)*100, 1),
 			fmtF(float64(sumLoad)/float64(total)*100, 1),
 			fmt.Sprintf("%d", stateBytes[0]),
-		})
+		}, nil
+	})
+	if terr != nil {
+		return t, terr
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "the paper reports 288ms/515ms for 90^3/110^3 with 43-56% spent on resynchronization")
 	return t, nil
 }
@@ -330,14 +346,15 @@ func StorageCost(sc Scale) (Table, error) {
 		Header: []string{"metric", "libcrpm-Buffered", "FTI"},
 	}
 	spec := appSpecs()[0]
-	crpmRun := runParallelApp(spec, sc, sc.EdgeSmall, sc.AppItersS, "libcrpm-Buffered")
-	if crpmRun.err != nil {
-		return t, crpmRun.err
+	syss := []string{"libcrpm-Buffered", "FTI"}
+	runs, err := sched.MapErr(len(syss), pool(), func(i int) (appResult, error) {
+		r := runParallelApp(spec, sc, sc.EdgeSmall, sc.AppItersS, syss[i])
+		return r, r.err
+	})
+	if err != nil {
+		return t, err
 	}
-	ftiRun := runParallelApp(spec, sc, sc.EdgeSmall, sc.AppItersS, "FTI")
-	if ftiRun.err != nil {
-		return t, ftiRun.err
-	}
+	crpmRun, ftiRun := runs[0], runs[1]
 	ctr := crpmRun.containers[0]
 	fb := ftiRun.ftis[0]
 	m := ctr.Metrics()

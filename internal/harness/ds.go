@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/sched"
 	"libcrpm/internal/workload"
 )
 
@@ -13,20 +14,27 @@ func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // Fig1Breakdown reproduces Figure 1: the execution-time breakdown
 // (execution / memory trace / checkpoint) of the persistent unordered_map
-// under the balanced workload.
+// under the balanced workload. Each system is one scheduler cell with its
+// own simulated device; rows are reduced in the paper's system order.
 func Fig1Breakdown(sc Scale) (Table, error) {
 	t := Table{
 		Title:  fmt.Sprintf("Figure 1: execution time breakdown, unordered_map, balanced, interval %v (%s scale)", sc.Interval, sc.Name),
 		Header: []string{"system", "total", "execution%", "memory-trace%", "checkpoint%"},
 	}
-	for _, sys := range []string{"Mprotect", "Soft-dirty bit", "Undo-log", "LMC", "libcrpm-Default", "libcrpm-Buffered"} {
+	systems := []string{"Mprotect", "Soft-dirty bit", "Undo-log", "LMC", "libcrpm-Default", "libcrpm-Buffered"}
+	type cellRes struct {
+		row   []string
+		simPS int64
+	}
+	cells, err := sched.MapErr(len(systems), pool(), func(i int) (cellRes, error) {
+		sys := systems[i]
 		s, err := NewDSSetup(sys, DSHashMap, sc, Geometry{})
 		if err != nil {
-			return t, err
+			return cellRes{}, err
 		}
 		d := s.Driver(sc, 1)
 		if err := d.Populate(sc.Keys); err != nil {
-			return t, fmt.Errorf("%s: %w", sys, err)
+			return cellRes{}, fmt.Errorf("%s: %w", sys, err)
 		}
 		clock := s.Dev.Clock()
 		base := [nvm.NumCategories]int64{}
@@ -35,7 +43,7 @@ func Fig1Breakdown(sc Scale) (Table, error) {
 		}
 		startPS := clock.NowPS()
 		if _, err := d.Run(workload.Balanced, sc.Ops); err != nil {
-			return t, fmt.Errorf("%s: %w", sys, err)
+			return cellRes{}, fmt.Errorf("%s: %w", sys, err)
 		}
 		total := clock.NowPS() - startPS
 		pct := func(c nvm.Category) string {
@@ -44,52 +52,69 @@ func Fig1Breakdown(sc Scale) (Table, error) {
 			}
 			return fmtF(float64(clock.CategoryPS(c)-base[c])/float64(total)*100, 1)
 		}
-		t.Rows = append(t.Rows, []string{
-			sys,
-			fmtDur(time.Duration((clock.NowPS() - startPS) / 1000)),
-			pct(nvm.CatExecution),
-			pct(nvm.CatTrace),
-			pct(nvm.CatCheckpoint),
-		})
+		return cellRes{
+			row: []string{
+				sys,
+				fmtDur(time.Duration((clock.NowPS() - startPS) / 1000)),
+				pct(nvm.CatExecution),
+				pct(nvm.CatTrace),
+				pct(nvm.CatCheckpoint),
+			},
+			simPS: total,
+		}, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for i, c := range cells {
+		t.Rows = append(t.Rows, c.row)
+		t.AddMetric("sim_ms/"+systems[i], float64(c.simPS)/1e9)
 	}
 	return t, nil
 }
 
 // Fig7Throughput reproduces Figure 7: throughput of the persistent map and
-// unordered_map across the four workloads, single thread.
+// unordered_map across the four workloads, single thread. Every
+// (system, workload) pair is an independent cell.
 func Fig7Throughput(sc Scale, kind DSKind) (Table, error) {
 	t := Table{
 		Title:  fmt.Sprintf("Figure 7: %s throughput (Mops/s), interval %v (%s scale)", kind, sc.Interval, sc.Name),
 		Header: []string{"system", "Insert-only", "Balanced", "Read-heavy", "Read-only"},
 	}
-	for _, sys := range DSSystems(kind) {
-		row := []string{sys}
-		for _, mix := range workload.Mixes() {
-			s, err := NewDSSetup(sys, kind, sc, Geometry{})
-			if err != nil {
-				return t, err
-			}
-			d := s.Driver(sc, 7)
-			nKeys := sc.Keys
-			if mix.InsertOnly {
-				nKeys = 0 // the paper starts insert-only runs empty
-			}
-			if nKeys > 0 {
-				if err := d.Populate(nKeys); err != nil {
-					return t, fmt.Errorf("%s/%s: %w", sys, mix.Name, err)
-				}
-			} else {
-				d.Keys = 1 // placeholder; insert-only never draws existing keys
-				if err := d.Checkpoint(); err != nil {
-					return t, err
-				}
-			}
-			res, err := d.Run(mix, sc.Ops)
-			if err != nil {
-				return t, fmt.Errorf("%s/%s: %w", sys, mix.Name, err)
-			}
-			row = append(row, fmtF(res.Throughput/1e6, 3))
+	systems := DSSystems(kind)
+	mixes := workload.Mixes()
+	cells, err := sched.MapErr(len(systems)*len(mixes), pool(), func(i int) (string, error) {
+		sys, mix := systems[i/len(mixes)], mixes[i%len(mixes)]
+		s, err := NewDSSetup(sys, kind, sc, Geometry{})
+		if err != nil {
+			return "", err
 		}
+		d := s.Driver(sc, 7)
+		nKeys := sc.Keys
+		if mix.InsertOnly {
+			nKeys = 0 // the paper starts insert-only runs empty
+		}
+		if nKeys > 0 {
+			if err := d.Populate(nKeys); err != nil {
+				return "", fmt.Errorf("%s/%s: %w", sys, mix.Name, err)
+			}
+		} else {
+			d.Keys = 1 // placeholder; insert-only never draws existing keys
+			if err := d.Checkpoint(); err != nil {
+				return "", err
+			}
+		}
+		res, err := d.Run(mix, sc.Ops)
+		if err != nil {
+			return "", fmt.Errorf("%s/%s: %w", sys, mix.Name, err)
+		}
+		return fmtF(res.Throughput/1e6, 3), nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for si, sys := range systems {
+		row := append([]string{sys}, cells[si*len(mixes):(si+1)*len(mixes)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
@@ -106,30 +131,45 @@ func Table1a(sc Scale) (Table, error) {
 		},
 	}
 	mixes := []workload.Mix{workload.InsertOnly, workload.Balanced, workload.ReadHeavy}
-	for _, sys := range []string{"Mprotect", "Soft-dirty bit", "libcrpm-Default"} {
+	systems := []string{"Mprotect", "Soft-dirty bit", "libcrpm-Default"}
+	type cellRes struct {
+		cell       string
+		bytesPerOp float64
+	}
+	cells, err := sched.MapErr(len(systems)*len(mixes), pool(), func(i int) (cellRes, error) {
+		sys, mix := systems[i/len(mixes)], mixes[i%len(mixes)]
+		s, err := NewDSSetup(sys, DSHashMap, sc, Geometry{})
+		if err != nil {
+			return cellRes{}, err
+		}
+		d := s.Driver(sc, 3)
+		if !mix.InsertOnly {
+			if err := d.Populate(sc.Keys); err != nil {
+				return cellRes{}, err
+			}
+		} else {
+			d.Keys = 1
+			if err := d.Checkpoint(); err != nil {
+				return cellRes{}, err
+			}
+		}
+		before := s.Backend.Metrics().CheckpointBytes
+		if _, err := d.Run(mix, sc.Ops); err != nil {
+			return cellRes{}, fmt.Errorf("%s/%s: %w", sys, mix.Name, err)
+		}
+		delta := s.Backend.Metrics().CheckpointBytes - before
+		v := float64(delta) / float64(sc.Ops)
+		return cellRes{cell: fmtF(v, 1), bytesPerOp: v}, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for si, sys := range systems {
 		row := []string{sys}
-		for _, mix := range mixes {
-			s, err := NewDSSetup(sys, DSHashMap, sc, Geometry{})
-			if err != nil {
-				return t, err
-			}
-			d := s.Driver(sc, 3)
-			if !mix.InsertOnly {
-				if err := d.Populate(sc.Keys); err != nil {
-					return t, err
-				}
-			} else {
-				d.Keys = 1
-				if err := d.Checkpoint(); err != nil {
-					return t, err
-				}
-			}
-			before := s.Backend.Metrics().CheckpointBytes
-			if _, err := d.Run(mix, sc.Ops); err != nil {
-				return t, fmt.Errorf("%s/%s: %w", sys, mix.Name, err)
-			}
-			delta := s.Backend.Metrics().CheckpointBytes - before
-			row = append(row, fmtF(float64(delta)/float64(sc.Ops), 1))
+		for mi, mix := range mixes {
+			c := cells[si*len(mixes)+mi]
+			row = append(row, c.cell)
+			t.AddMetric("ckpt_bytes_per_op/"+sys+"/"+mix.Name, c.bytesPerOp)
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -144,43 +184,48 @@ func Table1b(sc Scale) (Table, error) {
 		Header: []string{"system", "Insert-only", "Balanced", "Read-heavy"},
 	}
 	mixes := []workload.Mix{workload.InsertOnly, workload.Balanced, workload.ReadHeavy}
-	for _, sys := range []string{"Undo-log", "LMC", "libcrpm-Default"} {
-		row := []string{sys}
-		for _, mix := range mixes {
-			s, err := NewDSSetup(sys, DSHashMap, sc, Geometry{})
-			if err != nil {
-				return t, err
-			}
-			d := s.Driver(sc, 5)
-			if !mix.InsertOnly {
-				if err := d.Populate(sc.Keys); err != nil {
-					return t, err
-				}
-			} else {
-				d.Keys = 1
-				if err := d.Checkpoint(); err != nil {
-					return t, err
-				}
-			}
-			fBefore := s.Dev.Stats().SFences
-			res, err := d.Run(mix, sc.Ops)
-			if err != nil {
-				return t, fmt.Errorf("%s/%s: %w", sys, mix.Name, err)
-			}
-			fences := s.Dev.Stats().SFences - fBefore
-			epochs := res.Epochs
-			if epochs == 0 {
-				epochs = 1
-			}
-			row = append(row, fmtF(float64(fences)/float64(epochs), 1))
+	systems := []string{"Undo-log", "LMC", "libcrpm-Default"}
+	cells, err := sched.MapErr(len(systems)*len(mixes), pool(), func(i int) (string, error) {
+		sys, mix := systems[i/len(mixes)], mixes[i%len(mixes)]
+		s, err := NewDSSetup(sys, DSHashMap, sc, Geometry{})
+		if err != nil {
+			return "", err
 		}
-		t.Rows = append(t.Rows, row)
+		d := s.Driver(sc, 5)
+		if !mix.InsertOnly {
+			if err := d.Populate(sc.Keys); err != nil {
+				return "", err
+			}
+		} else {
+			d.Keys = 1
+			if err := d.Checkpoint(); err != nil {
+				return "", err
+			}
+		}
+		fBefore := s.Dev.Stats().SFences
+		res, err := d.Run(mix, sc.Ops)
+		if err != nil {
+			return "", fmt.Errorf("%s/%s: %w", sys, mix.Name, err)
+		}
+		fences := s.Dev.Stats().SFences - fBefore
+		epochs := res.Epochs
+		if epochs == 0 {
+			epochs = 1
+		}
+		return fmtF(float64(fences)/float64(epochs), 1), nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for si, sys := range systems {
+		t.Rows = append(t.Rows, append([]string{sys}, cells[si*len(mixes):(si+1)*len(mixes)]...))
 	}
 	return t, nil
 }
 
 // Fig9Interval reproduces Figure 9: throughput under the balanced workload
-// as the checkpoint interval varies.
+// as the checkpoint interval varies. Every (system, interval) pair is an
+// independent cell.
 func Fig9Interval(sc Scale, kind DSKind) (Table, error) {
 	intervals := []time.Duration{
 		1 * time.Millisecond, 4 * time.Millisecond, 16 * time.Millisecond,
@@ -194,26 +239,29 @@ func Fig9Interval(sc Scale, kind DSKind) (Table, error) {
 		t.Header = append(t.Header, iv.String())
 	}
 	systems := []string{"Mprotect", "Soft-dirty bit", "Undo-log", "LMC", "libcrpm-Default", "libcrpm-Buffered"}
-	for _, sys := range systems {
-		row := []string{sys}
-		for _, iv := range intervals {
-			sci := sc
-			sci.Interval = iv
-			s, err := NewDSSetup(sys, kind, sci, Geometry{})
-			if err != nil {
-				return t, err
-			}
-			d := s.Driver(sci, 9)
-			if err := d.Populate(sci.Keys); err != nil {
-				return t, err
-			}
-			res, err := d.Run(workload.Balanced, sci.Ops)
-			if err != nil {
-				return t, fmt.Errorf("%s@%v: %w", sys, iv, err)
-			}
-			row = append(row, fmtF(res.Throughput/1e6, 3))
+	cells, err := sched.MapErr(len(systems)*len(intervals), pool(), func(i int) (string, error) {
+		sys, iv := systems[i/len(intervals)], intervals[i%len(intervals)]
+		sci := sc
+		sci.Interval = iv
+		s, err := NewDSSetup(sys, kind, sci, Geometry{})
+		if err != nil {
+			return "", err
 		}
-		t.Rows = append(t.Rows, row)
+		d := s.Driver(sci, 9)
+		if err := d.Populate(sci.Keys); err != nil {
+			return "", err
+		}
+		res, err := d.Run(workload.Balanced, sci.Ops)
+		if err != nil {
+			return "", fmt.Errorf("%s@%v: %w", sys, iv, err)
+		}
+		return fmtF(res.Throughput/1e6, 3), nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for si, sys := range systems {
+		t.Rows = append(t.Rows, append([]string{sys}, cells[si*len(intervals):(si+1)*len(intervals)]...))
 	}
 	return t, nil
 }
@@ -230,24 +278,28 @@ func Fig10aSegment(sc Scale) (Table, error) {
 	for _, s := range segs {
 		t.Header = append(t.Header, byteSize(s))
 	}
-	for _, mix := range []workload.Mix{workload.Balanced, workload.ReadHeavy} {
-		row := []string{mix.Name}
-		for _, seg := range segs {
-			s, err := NewDSSetup("libcrpm-Default", DSHashMap, sc, Geometry{SegmentSize: seg, BlockSize: 256})
-			if err != nil {
-				return t, err
-			}
-			d := s.Driver(sc, 10)
-			if err := d.Populate(sc.Keys); err != nil {
-				return t, err
-			}
-			res, err := d.Run(mix, sc.Ops)
-			if err != nil {
-				return t, fmt.Errorf("seg %d: %w", seg, err)
-			}
-			row = append(row, fmtF(res.Throughput/1e6, 3))
+	mixes := []workload.Mix{workload.Balanced, workload.ReadHeavy}
+	cells, err := sched.MapErr(len(mixes)*len(segs), pool(), func(i int) (string, error) {
+		mix, seg := mixes[i/len(segs)], segs[i%len(segs)]
+		s, err := NewDSSetup("libcrpm-Default", DSHashMap, sc, Geometry{SegmentSize: seg, BlockSize: 256})
+		if err != nil {
+			return "", err
 		}
-		t.Rows = append(t.Rows, row)
+		d := s.Driver(sc, 10)
+		if err := d.Populate(sc.Keys); err != nil {
+			return "", err
+		}
+		res, err := d.Run(mix, sc.Ops)
+		if err != nil {
+			return "", fmt.Errorf("seg %d: %w", seg, err)
+		}
+		return fmtF(res.Throughput/1e6, 3), nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for mi, mix := range mixes {
+		t.Rows = append(t.Rows, append([]string{mix.Name}, cells[mi*len(segs):(mi+1)*len(segs)]...))
 	}
 	return t, nil
 }
@@ -267,24 +319,28 @@ func Fig10bBlock(sc Scale) (Table, error) {
 	for _, b := range blocks {
 		t.Header = append(t.Header, byteSize(b))
 	}
-	for _, mix := range []workload.Mix{workload.Balanced, workload.ReadHeavy} {
-		row := []string{mix.Name}
-		for _, blk := range blocks {
-			s, err := NewDSSetup("libcrpm-Default", DSHashMap, sc, Geometry{SegmentSize: seg, BlockSize: blk})
-			if err != nil {
-				return t, err
-			}
-			d := s.Driver(sc, 11)
-			if err := d.Populate(sc.Keys); err != nil {
-				return t, err
-			}
-			res, err := d.Run(mix, sc.Ops)
-			if err != nil {
-				return t, fmt.Errorf("block %d: %w", blk, err)
-			}
-			row = append(row, fmtF(res.Throughput/1e6, 3))
+	mixes := []workload.Mix{workload.Balanced, workload.ReadHeavy}
+	cells, err := sched.MapErr(len(mixes)*len(blocks), pool(), func(i int) (string, error) {
+		mix, blk := mixes[i/len(blocks)], blocks[i%len(blocks)]
+		s, err := NewDSSetup("libcrpm-Default", DSHashMap, sc, Geometry{SegmentSize: seg, BlockSize: blk})
+		if err != nil {
+			return "", err
 		}
-		t.Rows = append(t.Rows, row)
+		d := s.Driver(sc, 11)
+		if err := d.Populate(sc.Keys); err != nil {
+			return "", err
+		}
+		res, err := d.Run(mix, sc.Ops)
+		if err != nil {
+			return "", fmt.Errorf("block %d: %w", blk, err)
+		}
+		return fmtF(res.Throughput/1e6, 3), nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for mi, mix := range mixes {
+		t.Rows = append(t.Rows, append([]string{mix.Name}, cells[mi*len(blocks):(mi+1)*len(blocks)]...))
 	}
 	return t, nil
 }

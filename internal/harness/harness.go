@@ -35,6 +35,19 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Metrics holds machine-readable scalars (simulated-clock totals,
+	// checkpoint bytes per op) for the -json perf trajectory. They are
+	// deliberately excluded from CSV and String so the printed output stays
+	// byte-identical across runs that do or don't collect them.
+	Metrics map[string]float64
+}
+
+// AddMetric records one machine-readable scalar on the table.
+func (t *Table) AddMetric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[name] = v
 }
 
 // CSV renders the table as RFC-4180-ish comma-separated values (one header

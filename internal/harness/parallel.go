@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"sync/atomic"
+
+	"libcrpm/internal/sched"
+)
+
+// parallelism is the harness-wide worker bound for experiment cells
+// (0 = GOMAXPROCS). Every figure fans its independent cells — each with its
+// own simulated device — out over a sched pool with ordered reduction, so
+// the printed tables are byte-identical at any setting.
+var parallelism atomic.Int32
+
+// progress is the optional cell-completion hook the CLIs install
+// (stderr meters); it must tolerate concurrent figures' cells interleaving.
+var progress atomic.Pointer[func(done, total int)]
+
+// SetParallelism bounds the number of experiment cells simulated
+// concurrently. 0 restores the default (GOMAXPROCS); 1 is the serial path.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism reports the current bound (0 = GOMAXPROCS).
+func Parallelism() int { return int(parallelism.Load()) }
+
+// SetProgress installs a hook called after every completed experiment cell
+// with (done, total) for the figure currently being swept. nil removes it.
+func SetProgress(fn func(done, total int)) {
+	if fn == nil {
+		progress.Store(nil)
+		return
+	}
+	progress.Store(&fn)
+}
+
+// pool builds the sched options every figure sweep uses.
+func pool() sched.Options {
+	opt := sched.Options{Workers: Parallelism()}
+	if p := progress.Load(); p != nil {
+		opt.Progress = *p
+	}
+	return opt
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"libcrpm/internal/sched"
 	"libcrpm/internal/workload"
 )
 
@@ -16,26 +17,31 @@ func PauseTimes(sc Scale) (Table, error) {
 		Header: []string{"system", "mean pause", "max pause", "pause share %"},
 	}
 	systems := []string{"Mprotect", "Soft-dirty bit", "Undo-log", "LMC", "libcrpm-Default", "libcrpm-Buffered"}
-	for _, sys := range systems {
+	rows, err := sched.MapErr(len(systems), pool(), func(i int) ([]string, error) {
+		sys := systems[i]
 		s, err := NewDSSetup(sys, DSHashMap, sc, Geometry{})
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		d := s.Driver(sc, 31)
 		if err := d.Populate(sc.Keys); err != nil {
-			return t, err
+			return nil, err
 		}
 		res, err := d.Run(workload.Balanced, sc.Ops)
 		if err != nil {
-			return t, fmt.Errorf("%s: %w", sys, err)
+			return nil, fmt.Errorf("%s: %w", sys, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			sys,
 			fmtDur(res.MeanPause),
 			fmtDur(res.MaxPause),
 			fmtF(res.PauseShare*100, 1),
-		})
+		}, nil
+	})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"pause = simulated time the application is stopped inside one crpm_checkpoint call; libcrpm's differential protocol shrinks exactly this disturbance")
 	return t, nil

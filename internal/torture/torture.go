@@ -22,6 +22,7 @@ import (
 	"libcrpm/internal/core"
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/region"
+	"libcrpm/internal/sched"
 )
 
 // Step is one deterministic workload action: an 8-byte write, or a
@@ -123,6 +124,12 @@ type Config struct {
 	// container still works: one more write, checkpoint, clean restart,
 	// reread.
 	Liveness bool
+	// Parallel bounds the number of crash-point replays in flight
+	// (0 = GOMAXPROCS, 1 = serial). Every replay owns a fresh device and
+	// reads only the shared script and shadow snapshots, and violations are
+	// reduced in crash-point order, so the report is byte-identical at any
+	// setting.
+	Parallel int
 	// Progress, if non-nil, is called after each (mode, policy) combo.
 	Progress func(mode, policy string, points int, violations int)
 }
@@ -201,16 +208,25 @@ func Sweep(cfg Config) (Result, error) {
 			return res, fmt.Errorf("torture: reference run (%s): %w", mode.Name, err)
 		}
 		for _, pol := range cfg.Policies {
-			points := 0
+			var ks []int64
 			for k := first; k < total; k += int64(cfg.Stride) {
-				points++
-				res.Replays++
-				if v := replay(cfg, mode, pol, script, shadows, k); v != nil {
+				ks = append(ks, k)
+			}
+			// Replays fan out over the sched pool; each owns its device and
+			// reads only the immutable script/shadows, and the reduction is
+			// in crash-point order, so the violation list is identical to the
+			// serial sweep's.
+			vs := sched.Map(len(ks), sched.Options{Workers: cfg.Parallel}, func(i int) *Violation {
+				return replayCell(cfg, mode, pol, script, shadows, ks[i])
+			})
+			res.Replays += len(ks)
+			for _, v := range vs {
+				if v != nil {
 					res.Violations = append(res.Violations, *v)
 				}
 			}
 			key := mode.Name + "/" + pol.Name
-			res.Points[key] = points
+			res.Points[key] = len(ks)
 			if cfg.Progress != nil {
 				bad := 0
 				for _, v := range res.Violations {
@@ -218,11 +234,25 @@ func Sweep(cfg Config) (Result, error) {
 						bad++
 					}
 				}
-				cfg.Progress(mode.Name, pol.Name, points, bad)
+				cfg.Progress(mode.Name, pol.Name, len(ks), bad)
 			}
 		}
 	}
 	return res, nil
+}
+
+// replayCell is one scheduled replay with panic containment: a panic that
+// escapes the protocol mid-replay (anything other than the injected crash
+// runToCrash expects) becomes a violation row for that crash point instead
+// of killing the sweep — at every parallelism level, so serial and parallel
+// reports agree even on protocol bugs.
+func replayCell(cfg Config, mode Mode, pol Policy, script []Step, shadows map[uint64][]byte, k int64) (v *Violation) {
+	defer func() {
+		if r := recover(); r != nil {
+			v = &Violation{Mode: mode.Name, Policy: pol.Name, Index: k, Stage: "panic", Detail: fmt.Sprint(r)}
+		}
+	}()
+	return replay(cfg, mode, pol, script, shadows, k)
 }
 
 // reference runs the script without crashing, returning the primitive index

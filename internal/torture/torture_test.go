@@ -1,7 +1,10 @@
 package torture
 
 import (
+	"fmt"
 	"testing"
+
+	"libcrpm/internal/nvm"
 )
 
 func report(t *testing.T, res Result) {
@@ -96,5 +99,79 @@ func TestSweepReferenceDeterminism(t *testing.T) {
 	}
 	if f1 != f2 || t1 != t2 || len(s1) != len(s2) {
 		t.Fatalf("reference runs diverge: (%d,%d,%d) vs (%d,%d,%d)", f1, t1, len(s1), f2, t2, len(s2))
+	}
+}
+
+// TestParallelMatchesSerial is the determinism acceptance test of the sweep
+// scheduler on the torture side: a strided sweep produces an identical
+// Result — same replay count, same per-combo points, same violations in the
+// same order — at Parallel 1 and Parallel 8. Run under -race this also
+// proves the replays share no mutable state.
+func TestParallelMatchesSerial(t *testing.T) {
+	run := func(parallel int) Result {
+		res, err := Sweep(Config{Checksums: true, Liveness: true, Stride: 13, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial.Replays == 0 {
+		t.Fatal("sweep executed no replays")
+	}
+	if serial.Replays != parallel.Replays {
+		t.Errorf("replays: serial %d, parallel %d", serial.Replays, parallel.Replays)
+	}
+	if len(serial.Points) != len(parallel.Points) {
+		t.Errorf("combos: serial %d, parallel %d", len(serial.Points), len(parallel.Points))
+	}
+	for combo, pts := range serial.Points {
+		if parallel.Points[combo] != pts {
+			t.Errorf("combo %s: serial %d points, parallel %d", combo, pts, parallel.Points[combo])
+		}
+	}
+	if len(serial.Violations) != len(parallel.Violations) {
+		t.Fatalf("violations: serial %d, parallel %d", len(serial.Violations), len(parallel.Violations))
+	}
+	for i := range serial.Violations {
+		if serial.Violations[i] != parallel.Violations[i] {
+			t.Errorf("violation %d: serial %v, parallel %v", i, serial.Violations[i], parallel.Violations[i])
+		}
+	}
+}
+
+// TestPanicBecomesViolation verifies the sweep's panic containment: a
+// protocol panic mid-replay is reported as a violation row for its crash
+// point — identically at every parallelism level — instead of killing the
+// process.
+func TestPanicBecomesViolation(t *testing.T) {
+	pol := Policy{"panicky", func(k int64) nvm.CrashPolicy {
+		if k%2 == 1 {
+			panic(fmt.Sprintf("policy exploded at %d", k))
+		}
+		return nvm.PersistAll
+	}}
+	for _, parallel := range []int{1, 4} {
+		res, err := Sweep(Config{
+			Stride:   7,
+			Parallel: parallel,
+			Modes:    StandardModes()[:1],
+			Policies: []Policy{pol},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) == 0 {
+			t.Fatalf("parallel=%d: panicking policy produced no violations", parallel)
+		}
+		for _, v := range res.Violations {
+			if v.Stage != "panic" {
+				t.Fatalf("parallel=%d: violation stage %q, want panic: %v", parallel, v.Stage, v)
+			}
+			if v.Index%2 != 1 {
+				t.Fatalf("parallel=%d: even crash point %d reported a panic", parallel, v.Index)
+			}
+		}
 	}
 }
