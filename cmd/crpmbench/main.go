@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"libcrpm/internal/harness"
+	"libcrpm/internal/obs"
 )
 
 type experiment struct {
@@ -108,10 +109,14 @@ func run() int {
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the experiments finish) to this file")
 	parallel := flag.Int("parallel", 0, "experiment cells in flight (0 = GOMAXPROCS, 1 = serial); tables are byte-identical at any setting")
 	jsonOut := flag.Bool("json", false, "also write a BENCH_<scale>.json perf trajectory (wall-clock per experiment, simulated-clock and checkpoint-byte metrics)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the traced experiments' phase spans to this file; timestamps are simulated, so the file is byte-identical at any -parallel")
 	progress := flag.Bool("progress", false, "report sweep progress (cells done/total) on stderr")
 	flag.Parse()
 
 	harness.SetParallelism(*parallel)
+	// -json wants the per-phase span_ms metrics in the trajectory, so both
+	// flags turn per-cell tracing on.
+	harness.SetTracing(*tracePath != "" || *jsonOut)
 	if *progress {
 		harness.SetProgress(func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r  %d/%d cells", done, total)
@@ -214,6 +219,26 @@ func run() int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	if *tracePath != "" {
+		tr := harness.TakeTrace()
+		if tr == nil {
+			tr = &obs.Trace{}
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return 1
+		}
+		err = obs.WriteChromeTrace(f, tr)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d tracks; open at ui.perfetto.dev)\n", *tracePath, len(tr.Tracks))
 	}
 	return 0
 }

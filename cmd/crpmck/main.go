@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -22,68 +23,79 @@ import (
 	"libcrpm/internal/region"
 )
 
-func main() {
-	img := flag.String("img", "", "device image file (required)")
-	heap := flag.Int("heap", 0, "container heap size in bytes (required)")
-	segment := flag.Int("segment", 0, "segment size (default 2MB)")
-	block := flag.Int("block", 0, "block size (default 256B)")
-	ratio := flag.Float64("ratio", 1.0, "backup ratio")
-	deep := flag.Bool("deep", false, "also compare pair contents")
-	repair := flag.Bool("repair", false, "repair checksummed metadata from the redundant copy and rewrite the image")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main's testable body: flags come from args, output goes to the
+// given writers, and the exit code is returned instead of os.Exit'd.
+// Exit codes: 0 = consistent (or repaired), 1 = inconsistent or
+// unrepairable, 2 = usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crpmck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	img := fs.String("img", "", "device image file (required)")
+	heap := fs.Int("heap", 0, "container heap size in bytes (required)")
+	segment := fs.Int("segment", 0, "segment size (default 2MB)")
+	block := fs.Int("block", 0, "block size (default 256B)")
+	ratio := fs.Float64("ratio", 1.0, "backup ratio")
+	deep := fs.Bool("deep", false, "also compare pair contents")
+	repair := fs.Bool("repair", false, "repair checksummed metadata from the redundant copy and rewrite the image")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *img == "" || *heap <= 0 {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	f, err := os.Open(*img)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	defer f.Close()
 	dev, err := nvm.ReadDeviceFrom(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	l, err := region.NewLayout(region.Config{
 		HeapSize: *heap, SegmentSize: *segment, BlockSize: *block, BackupRatio: *ratio,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	report := region.Check(dev, l, *deep)
 	if !*repair {
-		fmt.Print(report)
+		fmt.Fprint(stdout, report)
 		if !report.OK() {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	fmt.Println("--- before repair ---")
-	fmt.Print(report)
+	fmt.Fprintln(stdout, "--- before repair ---")
+	fmt.Fprint(stdout, report)
 	rep, err := region.Repair(dev, l)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "repair: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "repair: %v\n", err)
+		return 1
 	}
-	fmt.Println("--- repair actions ---")
-	fmt.Print(rep)
+	fmt.Fprintln(stdout, "--- repair actions ---")
+	fmt.Fprint(stdout, rep)
 	after := region.Check(dev, l, *deep)
-	fmt.Println("--- after repair ---")
-	fmt.Print(after)
+	fmt.Fprintln(stdout, "--- after repair ---")
+	fmt.Fprint(stdout, after)
 	if !after.OK() {
-		fmt.Fprintln(os.Stderr, "image still inconsistent after repair; not rewriting")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "image still inconsistent after repair; not rewriting")
+		return 1
 	}
 	if err := rewriteImage(*img, dev); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	fmt.Printf("repaired image written to %s\n", *img)
+	fmt.Fprintf(stdout, "repaired image written to %s\n", *img)
+	return 0
 }
 
 // rewriteImage atomically replaces path with the device's durable media

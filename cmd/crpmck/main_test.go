@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	crpm "libcrpm"
+	"libcrpm/internal/nvm"
+)
+
+const (
+	testHeap    = 4 << 20
+	testSegment = 1 << 20
+	testBlock   = 256
+)
+
+// makeImage builds a sealed container image on disk and returns its path
+// and the device (so callers can corrupt before writing their own copy).
+func makeImage(t *testing.T, checksums bool) (string, *nvm.Device) {
+	t.Helper()
+	st, err := crpm.CreateStore(crpm.Options{
+		HeapSize:    testHeap,
+		SegmentSize: testSegment,
+		BlockSize:   testBlock,
+		Checksums:   checksums,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.NewHashMap(1 << 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetRoot(0, uint64(m.Root()))
+	for k := uint64(0); k < 200; k++ {
+		if err := m.Put(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "nvm.img")
+	return path, st.Device()
+}
+
+func writeImage(t *testing.T, path string, dev *nvm.Device) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WriteMediaTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runCk(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func ckArgs(img string, extra ...string) []string {
+	return append([]string{
+		"-img", img,
+		"-heap", strconv.Itoa(testHeap),
+		"-segment", strconv.Itoa(testSegment),
+		"-block", strconv.Itoa(testBlock),
+	}, extra...)
+}
+
+func TestCheckConsistentImage(t *testing.T) {
+	path, dev := makeImage(t, true)
+	writeImage(t, path, dev)
+	code, out, _ := runCk(t, ckArgs(path, "-deep")...)
+	if code != 0 {
+		t.Fatalf("exit %d on consistent image\n%s", code, out)
+	}
+	if !strings.Contains(out, "OK") && !strings.Contains(out, "consistent") {
+		t.Fatalf("report does not state consistency:\n%s", out)
+	}
+}
+
+func TestRepairCorruptChecksummedImage(t *testing.T) {
+	path, dev := makeImage(t, true)
+	dev.CorruptRange(0, nvm.LineSize) // epoch line of a sealed image: repairable
+	writeImage(t, path, dev)
+
+	// Without -repair the corruption is detected.
+	code, _, _ := runCk(t, ckArgs(path)...)
+	if code != 1 {
+		t.Fatalf("check of corrupt image: exit %d, want 1", code)
+	}
+
+	// With -repair the image is fixed and rewritten.
+	code, out, stderr := runCk(t, ckArgs(path, "-repair")...)
+	if code != 0 {
+		t.Fatalf("repair: exit %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "repaired image written to") {
+		t.Fatalf("repair did not report rewriting:\n%s", out)
+	}
+
+	// The rewritten image now checks clean.
+	code, out, _ = runCk(t, ckArgs(path, "-deep")...)
+	if code != 0 {
+		t.Fatalf("post-repair check: exit %d\n%s", code, out)
+	}
+}
+
+func TestRepairUnrepairablePlainImage(t *testing.T) {
+	path, dev := makeImage(t, false)
+	dev.CorruptRange(0, nvm.LineSize)
+	writeImage(t, path, dev)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, stderr := runCk(t, ckArgs(path, "-repair")...)
+	if code != 1 {
+		t.Fatalf("repair of plain corrupt image: exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if stderr == "" {
+		t.Fatal("unrepairable image produced no error output")
+	}
+	// The on-disk image must be untouched on failure.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed repair modified the image file")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCk(t); code != 2 {
+		t.Errorf("missing required flags: exit %d, want 2", code)
+	}
+	if code, _, _ := runCk(t, "-bogus"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _, _ := runCk(t, "-img", "x.img", "-heap", "0"); code != 2 {
+		t.Errorf("non-positive heap: exit %d, want 2", code)
+	}
+}
+
+func TestMissingImageFile(t *testing.T) {
+	code, _, stderr := runCk(t, ckArgs(filepath.Join(t.TempDir(), "nope.img"))...)
+	if code != 1 || stderr == "" {
+		t.Errorf("missing image: exit %d stderr %q, want 1 with message", code, stderr)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"libcrpm/internal/obs"
 	"libcrpm/internal/torture"
 )
 
@@ -32,6 +33,7 @@ func main() {
 	adversarial := flag.Bool("adversarial", false, "add the alternating per-line adversary policy")
 	liveness := flag.Bool("liveness", true, "verify each recovered container still checkpoints")
 	parallel := flag.Int("parallel", 0, "crash-point replays in flight (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of each mode's reference-run phase spans to this file")
 	flag.Parse()
 
 	cfg := torture.Config{
@@ -42,6 +44,7 @@ func main() {
 		Checksums: *checksums,
 		Liveness:  *liveness,
 		Parallel:  *parallel,
+		Trace:     *tracePath != "",
 		Progress: func(mode, policy string, points, violations int) {
 			fmt.Printf("%-10s %-12s %5d crash points  %d violations\n", mode, policy, points, violations)
 		},
@@ -63,6 +66,26 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("total: %d replays\n", res.Replays)
+	if *tracePath != "" {
+		tr := res.Trace
+		if tr == nil {
+			tr = &obs.Trace{}
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		err = obs.WriteChromeTrace(f, tr)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s (%d tracks)\n", *tracePath, len(tr.Tracks))
+	}
 	if !res.OK() {
 		for _, v := range res.Violations {
 			fmt.Fprintf(os.Stderr, "VIOLATION: %s\n", v)

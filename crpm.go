@@ -36,6 +36,7 @@ import (
 	"libcrpm/internal/core"
 	"libcrpm/internal/heap"
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/obs"
 	"libcrpm/internal/pds"
 	"libcrpm/internal/region"
 )
@@ -74,6 +75,15 @@ type (
 	Vector = pds.Vector
 	// Backend is the checkpoint-system interface all systems implement.
 	Backend = ckpt.Backend
+	// Recorder collects phase spans and metrics on the simulated clock;
+	// attach one via Options.Trace (or Container.SetTrace) and export with
+	// WriteChromeTrace. Nil recorders disable tracing at zero cost.
+	Recorder = obs.Recorder
+	// Span is one phase-attributed interval of simulated time.
+	Span = obs.Span
+	// TraceData is an ordered collection of labelled recorder snapshots
+	// ready for Chrome-trace/CSV export.
+	TraceData = obs.Trace
 )
 
 // Container modes.
@@ -101,6 +111,16 @@ func ReadDeviceFrom(r io.Reader, opts ...nvm.Option) (*Device, error) {
 	return nvm.ReadDeviceFrom(r, opts...)
 }
 
+// NewRecorder creates a phase recorder on the device's simulated clock.
+// Pass it via Options.Trace; snapshot with (*TraceData).Add and export with
+// WriteChromeTrace.
+func NewRecorder(dev *Device) *Recorder { return obs.NewRecorder(dev.Clock()) }
+
+// WriteChromeTrace serializes a trace in Chrome trace-event JSON, loadable
+// by Perfetto (ui.perfetto.dev) and chrome://tracing. Because every
+// timestamp is simulated, the bytes are a pure function of the workload.
+func WriteChromeTrace(w io.Writer, tr *TraceData) error { return obs.WriteChromeTrace(w, tr) }
+
 // Options configures a Store, the high-level entry point.
 type Options struct {
 	// HeapSize is the application-visible capacity. Required.
@@ -120,6 +140,10 @@ type Options struct {
 	// self-repairing shadow copy (format v2). Sticky on media:
 	// OpenStore auto-detects it regardless of this flag.
 	Checksums bool
+	// Trace attaches a phase recorder to the container: checkpoint, CoW,
+	// and recovery phases emit spans on the simulated clock. Nil disables
+	// tracing at zero cost.
+	Trace *Recorder
 }
 
 func (o Options) containerOptions() core.Options {
@@ -133,6 +157,7 @@ func (o Options) containerOptions() core.Options {
 		},
 		Mode:       o.Mode,
 		Concurrent: o.Concurrent,
+		Trace:      o.Trace,
 	}
 }
 

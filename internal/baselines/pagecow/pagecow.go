@@ -26,6 +26,7 @@ import (
 	"libcrpm/internal/bitmap"
 	"libcrpm/internal/ckpt"
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/obs"
 )
 
 // PageSize is the tracking granularity (4 KB, the paper's page size).
@@ -79,7 +80,12 @@ type Backend struct {
 
 	dirty *bitmap.Set // pages written this epoch
 	m     ckpt.Metrics
+	rec   *obs.Recorder // nil = tracing disabled; kept off the OnWrite path
 }
+
+// SetTrace implements obs.Traceable: checkpoint and recovery phases emit
+// spans into r. The page-fault trace path stays uninstrumented.
+func (b *Backend) SetTrace(r *obs.Recorder) { b.rec = r }
 
 // New formats a fresh container on its own device.
 func New(cfg Config) (*Backend, error) {
@@ -233,11 +239,15 @@ func (b *Backend) Checkpoint() error {
 	prev := clock.SetCategory(nvm.CatCheckpoint)
 	defer clock.SetCategory(prev)
 
+	b.rec.Begin("checkpoint")
+	defer b.rec.End()
 	e := b.committed()
 	eIdx, neIdx := int(e%2), int((e+1)%2)
 	// The per-epoch tracing maintenance: re-protect (mprotect) or walk and
 	// clear soft-dirty bits — charged over the whole heap.
+	b.rec.Begin("dirty-scan")
 	clock.Advance(int64(b.n) * b.cfg.EpochScanPSPerPage)
+	b.rec.End()
 
 	// Start the new state array as a copy of the active one; dirty pages
 	// are overwritten below. Because each dirty page is copied whole, the
@@ -247,6 +257,7 @@ func (b *Backend) Checkpoint() error {
 	copy(stateBuf, b.dev.Working()[offStates+eIdx*b.n:offStates+eIdx*b.n+b.n])
 	b.dev.StoreBulk(offStates+neIdx*b.n, stateBuf)
 
+	b.rec.Begin("copy")
 	copied := 0
 	work := b.dev.Working()
 	for p := b.dirty.NextSet(0); p >= 0; p = b.dirty.NextSet(p + 1) {
@@ -266,7 +277,11 @@ func (b *Backend) Checkpoint() error {
 		}
 		b.setPageState(neIdx, p, newState)
 	}
+	b.rec.End()
+	b.rec.Begin("fence")
 	b.dev.SFence()
+	b.rec.End()
+	b.rec.Begin("commit")
 	b.dev.FlushRange(offStates+neIdx*b.n, b.n)
 	b.dev.SFence()
 	var b8 [8]byte
@@ -274,6 +289,7 @@ func (b *Backend) Checkpoint() error {
 	b.dev.Store(offCommitted, b8[:])
 	b.dev.FlushRange(offCommitted, 8)
 	b.dev.SFence()
+	b.rec.End()
 
 	b.dirty.ClearAll()
 	b.m.CheckpointBytes += int64(copied)
@@ -288,6 +304,8 @@ func (b *Backend) Recover() error {
 	prev := clock.SetCategory(nvm.CatRecovery)
 	defer clock.SetCategory(prev)
 
+	b.rec.Begin("recovery")
+	defer b.rec.End()
 	eIdx := int(b.committed() % 2)
 	work := b.dev.Working()
 	zero := make([]byte, PageSize)

@@ -14,6 +14,7 @@ import (
 	"libcrpm/internal/bitmap"
 	"libcrpm/internal/ckpt"
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/obs"
 )
 
 // RecordDataSize is the undo-entry payload size (256 B, §5.1).
@@ -50,7 +51,12 @@ type Backend struct {
 
 	logged *bitmap.Set // granules logged this epoch
 	m      ckpt.Metrics
+	rec    *obs.Recorder // nil = tracing disabled; kept off the OnWrite path
 }
+
+// SetTrace implements obs.Traceable: checkpoint and recovery phases emit
+// spans into r. The per-record write hook stays uninstrumented.
+func (b *Backend) SetTrace(r *obs.Recorder) { b.rec = r }
 
 // New formats a fresh container on its own device. The log is sized for
 // full-heap coverage, so it can never fill within an epoch.
@@ -203,14 +209,22 @@ func (b *Backend) Checkpoint() error {
 	prev := clock.SetCategory(nvm.CatCheckpoint)
 	defer clock.SetCategory(prev)
 
+	b.rec.Begin("checkpoint")
+	defer b.rec.End()
+	b.rec.Begin("flush")
 	for g := b.logged.NextSet(0); g >= 0; g = b.logged.NextSet(g + 1) {
 		b.dev.FlushRange(b.workOff+g*RecordDataSize, RecordDataSize)
 	}
+	b.rec.End()
+	b.rec.Begin("fence")
 	b.dev.SFence()
+	b.rec.End()
+	b.rec.Begin("commit")
 	epoch, _ := b.commitHead()
 	// One atomic word flips the epoch and empties the log together.
 	b.setCommitHead(epoch+1, 0)
 	b.dev.SFence()
+	b.rec.End()
 	b.logged.ClearAll()
 	b.m.Epochs++
 	return nil
@@ -223,6 +237,8 @@ func (b *Backend) Recover() error {
 	prev := clock.SetCategory(nvm.CatRecovery)
 	defer clock.SetCategory(prev)
 
+	b.rec.Begin("recovery")
+	defer b.rec.End()
 	epoch, head := b.commitHead()
 	w := b.dev.Working()
 	for i := int(head) - 1; i >= 0; i-- {

@@ -16,6 +16,8 @@ func (c *Container) Checkpoint() error {
 	// The checkpoint clears dirty state (including eager CoW's per-segment
 	// resets), so the OnWrite last-hit memo is stale from here on.
 	c.lastBlk = -1
+	c.rec.Begin("checkpoint")
+	defer c.rec.End()
 	if c.opts.Mode == ModeBuffered {
 		return c.checkpointBuffered()
 	}
@@ -26,11 +28,14 @@ func (c *Container) checkpointDefault() error {
 	// Step 1: persist every block modified this epoch, in place, in the
 	// main region. Below the LLC threshold a clwb loop over dirty blocks is
 	// cheaper; above it, one wbinvd writes the whole cache back (§3.4.2).
+	c.rec.Begin("dirty-scan")
 	dirtyBytes := 0
 	bps := c.l.BlocksPerSeg()
 	for s := c.dirtySegs.NextSet(0); s >= 0; s = c.dirtySegs.NextSet(s + 1) {
 		dirtyBytes += c.dirtyBlocks.CountRange(s*bps, (s+1)*bps) * c.l.BlkSize
 	}
+	c.rec.End()
+	c.rec.Begin("flush")
 	if dirtyBytes < c.opts.LLCSize {
 		// Runs of adjacent dirty blocks map to contiguous device ranges
 		// (the heap is contiguous in the main region), so each run becomes
@@ -43,12 +48,17 @@ func (c *Container) checkpointDefault() error {
 	} else {
 		c.dev.WBINVD()
 	}
+	c.rec.End()
+	c.rec.Begin("fence")
 	c.dev.SFence()
+	c.rec.End()
 	c.metrics.CheckpointBytes += int64(dirtyBytes)
+	c.rec.Count("ckpt/dirty_bytes", int64(dirtyBytes))
 
 	// Step 2: atomically switch the checkpoint state. The inactive segment
 	// state array receives the new states and is made durable; then the
 	// committed epoch counter flips which array is active.
+	c.rec.Begin("commit")
 	e := c.meta.CommittedEpoch()
 	eIdx, neIdx := int(e%2), int((e+1)%2)
 	c.meta.CopySegStateArray(neIdx, eIdx)
@@ -59,12 +69,15 @@ func (c *Container) checkpointDefault() error {
 	c.dev.SFence()
 	c.meta.SetCommittedEpoch(e + 1)
 	c.dev.SFence()
+	c.rec.End()
 
 	// Step 3 (optional): if few segments were dirty, run their next-epoch
 	// copy-on-write right now, batched under two fences instead of two per
 	// segment (§3.4.2).
 	if c.opts.EagerCoWSegments >= 0 && c.dirtySegs.Count() > 0 && c.dirtySegs.Count() < c.opts.EagerCoWSegments {
+		c.rec.Begin("eager-cow")
 		c.eagerCoW(neIdx)
+		c.rec.End()
 	}
 	// With metadata checksums, the epoch's last metadata mutation is behind
 	// us: re-seal so the whole-structure CRCs become authoritative again.
@@ -128,6 +141,7 @@ func (c *Container) checkpointBuffered() error {
 	eIdx, neIdx := int(e%2), int((e+1)%2)
 	bps := c.l.BlocksPerSeg()
 	copied := 0
+	c.rec.Begin("copy")
 
 	type flip struct {
 		s  int
@@ -197,8 +211,12 @@ func (c *Container) checkpointBuffered() error {
 		}
 		flips = append(flips, flip{s, newState})
 	}
+	c.rec.End()
+	c.rec.Begin("fence")
 	c.dev.SFence() // all replica writes durable
+	c.rec.End()
 
+	c.rec.Begin("commit")
 	c.meta.CopySegStateArray(neIdx, eIdx)
 	for _, f := range flips {
 		c.meta.SetSegState(neIdx, f.s, f.st)
@@ -207,7 +225,9 @@ func (c *Container) checkpointBuffered() error {
 	c.dev.SFence()
 	c.meta.SetCommittedEpoch(e + 1)
 	c.dev.SFence()
+	c.rec.End()
 	c.meta.Seal()
+	c.rec.Count("ckpt/dirty_bytes", int64(copied))
 
 	c.curDirty.ClearAll()
 	c.dirtySegs.ClearAll()

@@ -14,6 +14,7 @@ import (
 	"libcrpm/internal/bitmap"
 	"libcrpm/internal/ckpt"
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/obs"
 	"libcrpm/internal/region"
 )
 
@@ -65,6 +66,12 @@ type Options struct {
 	// instead. Useful for fsck-style tooling that wants to report before
 	// repairing.
 	NoAutoRepair bool
+	// Trace attaches a phase recorder. Nil (the default) disables tracing;
+	// every recorder call is then a nil-receiver no-op, and the instrumented
+	// write path contains no recorder calls at all, so the option is free
+	// when unused. Spans are emitted around checkpoint phases (flush, fence,
+	// commit, eager CoW), execution-period copy-on-write, and recovery.
+	Trace *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +130,9 @@ type Container struct {
 	virginBackups *bitmap.Set
 
 	metrics ckpt.Metrics
+	// rec receives phase spans; nil means tracing is disabled (all calls
+	// no-op). Deliberately absent from OnWrite/Write steady state.
+	rec *obs.Recorder
 	// cowBytes counts copy-on-write traffic separately from checkpoint-
 	// period traffic (design-choice ablation).
 	cowBytes int64
@@ -221,6 +231,7 @@ func newContainer(dev *nvm.Device, meta *region.Meta, l *region.Layout, opts Opt
 		lastBlk:      -1,
 		mainToBackup: make([]uint32, l.NMain),
 		freeBackups:  make([]uint32, 0, l.NBackup),
+		rec:          opts.Trace,
 	}
 	c.metrics.MetadataBytes = int64(l.MetadataSize())
 	if opts.Mode == ModeBuffered {
@@ -383,6 +394,10 @@ func (c *Container) Write(off int, src []byte) {
 		c.dev.StoreBulk(c.l.HeapToDevice(off), src)
 	}
 }
+
+// SetTrace attaches (or, with nil, detaches) a phase recorder after
+// construction. Implements obs.Traceable.
+func (c *Container) SetTrace(r *obs.Recorder) { c.rec = r }
 
 // Metrics implements ckpt.Backend.
 func (c *Container) Metrics() ckpt.Metrics { return c.metrics }

@@ -30,6 +30,10 @@ func (c *Container) copyOnWrite(s int) {
 // segment and flips the active segment state to SS_Backup. Caller holds the
 // segment lock and has verified the active state is SS_Main.
 func (c *Container) cowCopy(e, s int) {
+	// One span per copied segment: CoW runs at most once per segment per
+	// epoch, so this stays off the per-store path.
+	c.rec.Begin("cow")
+	defer c.rec.End()
 	backup, hadPair := c.findPairedBackup(s)
 	mainOff := c.l.MainOff(s)
 	backupOff := c.l.BackupOff(int(backup))
@@ -41,6 +45,7 @@ func (c *Container) cowCopy(e, s int) {
 		c.persistCopy(backupOff, mainOff, c.l.SegSize)
 		c.meta.SetBackupToMain(int(backup), uint32(s))
 		c.cowBytes += int64(c.l.SegSize)
+		c.rec.Count("cow/full_segments", 1)
 	} else {
 		// Differential copy: the backup already equals the checkpoint state
 		// as of the segment's previous CoW; only blocks dirtied since then
@@ -55,6 +60,7 @@ func (c *Container) cowCopy(e, s int) {
 			c.persistCopy(off+delta, off, n)
 			c.cowBytes += int64(n)
 		})
+		c.rec.Count("cow/diff_segments", 1)
 	}
 	c.dev.SFence() // fence 1: data + pairing durable
 	c.meta.SetSegState(e, s, region.SSBackup)

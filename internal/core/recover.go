@@ -34,9 +34,13 @@ func (c *Container) Recover() error {
 	prev := clock.SetCategory(nvm.CatRecovery)
 	defer clock.SetCategory(prev)
 
+	c.rec.Begin("recovery")
+	defer c.rec.End()
+
 	startPS := clock.NowPS()
 	eIdx := int(c.meta.CommittedEpoch() % 2)
 	restored := int64(0)
+	c.rec.Begin("resync")
 	for j := 0; j < c.l.NBackup; j++ {
 		m := c.meta.BackupToMain(j)
 		if m == region.NoPair || int(m) >= c.l.NMain {
@@ -52,11 +56,13 @@ func (c *Container) Recover() error {
 			restored += int64(c.l.SegSize)
 		}
 	}
+	c.rec.End()
 	// Segments that never committed (SS_Initial) hold no program state;
 	// their committed content is the formatted (zero) state. A crash may
 	// have persisted arbitrary in-flight lines into them, so scrub any that
 	// are no longer zero (default mode reads the main region directly).
 	if c.opts.Mode == ModeDefault {
+		c.rec.Begin("scrub")
 		zero := make([]byte, c.l.SegSize)
 		for s := 0; s < c.l.NMain; s++ {
 			if c.meta.SegState(eIdx, s) != region.SSInitial {
@@ -68,6 +74,7 @@ func (c *Container) Recover() error {
 				restored += int64(c.l.SegSize)
 			}
 		}
+		c.rec.End()
 	}
 	c.dev.SFence()
 	c.metrics.RecoveryBytes += restored
@@ -87,6 +94,8 @@ func (c *Container) Recover() error {
 	if c.opts.Mode == ModeBuffered {
 		// Populate the DRAM working buffer from the (now synchronized)
 		// committed state (§5.5: the second phase of buffered recovery).
+		c.rec.Begin("load")
+		defer c.rec.End()
 		for s := 0; s < c.l.NMain; s++ {
 			dst := c.buf[s*c.l.SegSize : (s+1)*c.l.SegSize]
 			if c.meta.SegState(eIdx, s) == region.SSInitial {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/obs"
 	"libcrpm/internal/sched"
 	"libcrpm/internal/workload"
 )
@@ -26,12 +27,14 @@ func Fig1Breakdown(sc Scale) (Table, error) {
 		row   []string
 		simPS int64
 	}
+	recs := sched.NewCollector[*obs.Recorder](len(systems))
 	cells, err := sched.MapErr(len(systems), pool(), func(i int) (cellRes, error) {
 		sys := systems[i]
 		s, err := NewDSSetup(sys, DSHashMap, sc, Geometry{})
 		if err != nil {
 			return cellRes{}, err
 		}
+		recs.Put(i, s.Rec)
 		d := s.Driver(sc, 1)
 		if err := d.Populate(sc.Keys); err != nil {
 			return cellRes{}, fmt.Errorf("%s: %w", sys, err)
@@ -70,6 +73,11 @@ func Fig1Breakdown(sc Scale) (Table, error) {
 		t.Rows = append(t.Rows, c.row)
 		t.AddMetric("sim_ms/"+systems[i], float64(c.simPS)/1e9)
 	}
+	labels := make([]string, len(systems))
+	for i, sys := range systems {
+		labels[i] = "fig1/" + sys
+	}
+	collectTraces(&t, labels, recs.Items())
 	return t, nil
 }
 
@@ -83,12 +91,14 @@ func Fig7Throughput(sc Scale, kind DSKind) (Table, error) {
 	}
 	systems := DSSystems(kind)
 	mixes := workload.Mixes()
+	recs := sched.NewCollector[*obs.Recorder](len(systems) * len(mixes))
 	cells, err := sched.MapErr(len(systems)*len(mixes), pool(), func(i int) (string, error) {
 		sys, mix := systems[i/len(mixes)], mixes[i%len(mixes)]
 		s, err := NewDSSetup(sys, kind, sc, Geometry{})
 		if err != nil {
 			return "", err
 		}
+		recs.Put(i, s.Rec)
 		d := s.Driver(sc, 7)
 		nKeys := sc.Keys
 		if mix.InsertOnly {
@@ -117,6 +127,11 @@ func Fig7Throughput(sc Scale, kind DSKind) (Table, error) {
 		row := append([]string{sys}, cells[si*len(mixes):(si+1)*len(mixes)]...)
 		t.Rows = append(t.Rows, row)
 	}
+	labels := make([]string, len(systems)*len(mixes))
+	for i := range labels {
+		labels[i] = fmt.Sprintf("fig7/%s/%s/%s", kind, systems[i/len(mixes)], mixes[i%len(mixes)].Name)
+	}
+	collectTraces(&t, labels, recs.Items())
 	return t, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"libcrpm/internal/core"
 	"libcrpm/internal/heap"
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/obs"
 	"libcrpm/internal/pds"
 	"libcrpm/internal/region"
 	"libcrpm/internal/workload"
@@ -221,6 +222,10 @@ type DSSetup struct {
 	Backend ckpt.Backend
 	// Container is non-nil for the libcrpm systems.
 	Container *core.Container
+	// Rec is the cell's phase recorder, created by NewDSSetup when harness
+	// tracing is on (nil otherwise). It reads the cell's simulated clock and
+	// is attached to the backend when the backend is obs.Traceable.
+	Rec *obs.Recorder
 }
 
 // Geometry overrides for the Figure 10 sweeps; zero values use defaults.
@@ -239,7 +244,13 @@ func NewDSSetup(system string, kind DSKind, sc Scale, geo Geometry) (*DSSetup, e
 		if err != nil {
 			return nil, err
 		}
-		return &DSSetup{System: system, KV: m, Dev: m.Device(), Checkpoint: m.EpochPersist}, nil
+		s := &DSSetup{System: system, KV: m, Dev: m.Device(), Checkpoint: m.EpochPersist}
+		if Tracing() {
+			// Dalí has no ckpt.Backend to instrument, but the driver-level
+			// epoch spans and per-epoch stat deltas still apply.
+			s.Rec = obs.NewRecorder(s.Dev.Clock())
+		}
+		return s, nil
 	}
 	var b ckpt.Backend
 	var ctr *core.Container
@@ -298,14 +309,21 @@ func NewDSSetup(system string, kind DSKind, sc Scale, geo Geometry) (*DSSetup, e
 	if err != nil {
 		return nil, err
 	}
-	return &DSSetup{
+	s := &DSSetup{
 		System:     system,
 		KV:         kv,
 		Dev:        b.Device(),
 		Checkpoint: b.Checkpoint,
 		Backend:    b,
 		Container:  ctr,
-	}, nil
+	}
+	if Tracing() {
+		s.Rec = obs.NewRecorder(s.Dev.Clock())
+		if tb, ok := b.(obs.Traceable); ok {
+			tb.SetTrace(s.Rec)
+		}
+	}
+	return s, nil
 }
 
 // Driver wires a setup to the workload generator.
@@ -317,6 +335,8 @@ func (s *DSSetup) Driver(sc Scale, seed int64) *workload.Driver {
 		Interval:   sc.Interval,
 		Zipf:       workload.NewZipfian(sc.Keys, 0.99),
 		Rng:        newRng(seed),
+		Trace:      s.Rec,
+		Device:     s.Dev,
 	}
 }
 

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"libcrpm/internal/obs"
 	"libcrpm/internal/sched"
 	"libcrpm/internal/workload"
 )
@@ -17,12 +18,14 @@ func PauseTimes(sc Scale) (Table, error) {
 		Header: []string{"system", "mean pause", "max pause", "pause share %"},
 	}
 	systems := []string{"Mprotect", "Soft-dirty bit", "Undo-log", "LMC", "libcrpm-Default", "libcrpm-Buffered"}
+	recs := sched.NewCollector[*obs.Recorder](len(systems))
 	rows, err := sched.MapErr(len(systems), pool(), func(i int) ([]string, error) {
 		sys := systems[i]
 		s, err := NewDSSetup(sys, DSHashMap, sc, Geometry{})
 		if err != nil {
 			return nil, err
 		}
+		recs.Put(i, s.Rec)
 		d := s.Driver(sc, 31)
 		if err := d.Populate(sc.Keys); err != nil {
 			return nil, err
@@ -44,5 +47,10 @@ func PauseTimes(sc Scale) (Table, error) {
 	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"pause = simulated time the application is stopped inside one crpm_checkpoint call; libcrpm's differential protocol shrinks exactly this disturbance")
+	labels := make([]string, len(systems))
+	for i, sys := range systems {
+		labels[i] = "pauses/" + sys
+	}
+	collectTraces(&t, labels, recs.Items())
 	return t, nil
 }

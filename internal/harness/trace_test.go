@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"libcrpm/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files under testdata/")
+
+// traceScale is a deliberately tiny fig7 configuration: big enough that
+// every system checkpoints a few times (so every phase span appears), small
+// enough that the pinned golden track stays a few kilobytes.
+func traceScale() Scale {
+	return Scale{
+		Name:     "trace-test",
+		Keys:     500,
+		Ops:      1_500,
+		HeapSize: 4 << 20,
+		Buckets:  1 << 10,
+		Interval: 50 * time.Microsecond,
+	}
+}
+
+// fig7Trace runs the traced fig7 hash-map sweep at the given worker count
+// and returns the resulting table and merged trace.
+func fig7Trace(t *testing.T, workers int) (Table, *obs.Trace) {
+	t.Helper()
+	SetParallelism(workers)
+	defer SetParallelism(0)
+	SetTracing(true)
+	defer SetTracing(false)
+	TakeTrace() // drain anything a previous test left behind
+	tbl, err := Fig7Throughput(traceScale(), DSHashMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TakeTrace()
+	if tr == nil {
+		t.Fatal("traced sweep produced no tracks")
+	}
+	return tbl, tr
+}
+
+// TestFig7TraceDeterministicAcrossWorkers is the tentpole acceptance test:
+// the Chrome trace-event JSON of a traced fig7 sweep is byte-identical
+// whether the cells run serially or on eight workers, because every span
+// timestamp comes from the per-cell simulated clock and tracks are merged
+// by the scheduler's ordered reduction.
+func TestFig7TraceDeterministicAcrossWorkers(t *testing.T) {
+	tbl1, tr1 := fig7Trace(t, 1)
+	tbl8, tr8 := fig7Trace(t, 8)
+
+	wantTracks := len(DSSystems(DSHashMap)) * 4 // systems x workload mixes
+	if len(tr1.Tracks) != wantTracks {
+		t.Fatalf("serial sweep has %d tracks, want %d", len(tr1.Tracks), wantTracks)
+	}
+
+	var b1, b8 bytes.Buffer
+	if err := obs.WriteChromeTrace(&b1, tr1); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(&b8, tr8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b8.Bytes()) {
+		t.Fatalf("trace differs between workers=1 (%d bytes) and workers=8 (%d bytes)",
+			b1.Len(), b8.Len())
+	}
+
+	// The printed table must also be identical, and must carry the per-phase
+	// span_ms metrics for the -json trajectory.
+	if tbl1.String() != tbl8.String() || tbl1.CSV() != tbl8.CSV() {
+		t.Fatal("printed fig7 table differs between workers=1 and workers=8")
+	}
+	sawSpanMetric := false
+	for name := range tbl1.Metrics {
+		if strings.HasPrefix(name, "span_ms/fig7/") {
+			sawSpanMetric = true
+			break
+		}
+	}
+	if !sawSpanMetric {
+		t.Fatalf("table has no span_ms/fig7/* metrics: %v", tbl1.Metrics)
+	}
+}
+
+// TestTracingDoesNotPerturbResults pins the zero-interference claim: a
+// traced sweep prints exactly the bytes an untraced sweep prints, because
+// recorders only read the simulated clock and never advance it.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	traced, _ := fig7Trace(t, 0)
+
+	SetTracing(false)
+	plain, err := Fig7Throughput(traceScale(), DSHashMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := TakeTrace(); tr != nil {
+		t.Fatalf("untraced sweep accumulated %d tracks", len(tr.Tracks))
+	}
+	if plain.String() != traced.String() || plain.CSV() != traced.CSV() {
+		t.Fatal("tracing changed the printed fig7 table")
+	}
+}
+
+// TestFig7GoldenTrace pins the exported Chrome trace of one fixed fig7 cell
+// (libcrpm-Default under the balanced mix) byte-for-byte against testdata.
+// Any change to phase structure, span timing, metric folding, or JSON
+// serialization shows up as a golden diff; regenerate deliberately with
+//
+//	go test ./internal/harness -run TestFig7GoldenTrace -update
+func TestFig7GoldenTrace(t *testing.T) {
+	_, tr := fig7Trace(t, 0)
+
+	const label = "fig7/unordered_map/libcrpm-Default/Balanced"
+	var cell *obs.Track
+	for i := range tr.Tracks {
+		if tr.Tracks[i].Label == label {
+			cell = &tr.Tracks[i]
+		}
+	}
+	if cell == nil {
+		t.Fatalf("track %q not in trace", label)
+	}
+	if len(cell.Spans) == 0 {
+		t.Fatalf("track %q has no spans", label)
+	}
+	// libcrpm-Default runs eager CoW inside the checkpoint, so the cell shows
+	// eager-cow spans rather than on-demand cow spans.
+	for _, name := range []string{"epoch", "ckpt-pause", "checkpoint", "dirty-scan", "flush", "fence", "commit", "eager-cow"} {
+		found := false
+		for _, s := range cell.Spans {
+			if s.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("track %q has no %q span", label, name)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, &obs.Trace{Tracks: []obs.Track{*cell}}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fig7_default_balanced.trace.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("golden trace mismatch: got %d bytes, want %d (run with -update and review the diff)",
+			buf.Len(), len(want))
+	}
+}

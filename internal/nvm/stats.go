@@ -46,6 +46,24 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// Visit calls fn for every counter with a stable snake_case name, in
+// declaration order. It is the enumeration the tracing layer folds into
+// per-epoch metrics; a reflection test pins that it (and Sub and String)
+// covers every struct field, so new counters cannot silently vanish from
+// epoch deltas.
+func (s Stats) Visit(fn func(name string, v int64)) {
+	fn("stores", s.Stores)
+	fn("loads", s.Loads)
+	fn("clwbs", s.CLWBs)
+	fn("sfences", s.SFences)
+	fn("wbinvds", s.WBINVDs)
+	fn("page_faults", s.PageFaults)
+	fn("ntstore_bytes", s.NTStoreBytes)
+	fn("flushed_lines", s.FlushedLines)
+	fn("media_write_bytes", s.MediaWriteBytes)
+	fn("evicted_lines", s.EvictedLines)
+}
+
 // String formats the counters for logs and test failures.
 func (s Stats) String() string {
 	return fmt.Sprintf(

@@ -1,0 +1,91 @@
+package nvm
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// distinctStats returns a Stats whose i-th field holds base+i, so every
+// field carries a unique, recognizable value.
+func distinctStats(base int64) Stats {
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(base + int64(i))
+	}
+	return s
+}
+
+// TestStatsSubCoversEveryField pins that Sub subtracts every struct field:
+// adding a counter without extending Sub would make per-epoch deltas carry
+// cumulative totals for that field.
+func TestStatsSubCoversEveryField(t *testing.T) {
+	a := distinctStats(1_000)
+	b := distinctStats(0) // a - b leaves exactly 1000 in every field
+	got := reflect.ValueOf(a.Sub(b))
+	typ := got.Type()
+	for i := 0; i < got.NumField(); i++ {
+		if d := got.Field(i).Int(); d != 1_000 {
+			t.Errorf("Sub does not cover field %s: delta %d, want 1000", typ.Field(i).Name, d)
+		}
+	}
+}
+
+// TestStatsVisitCoversEveryField pins that Visit enumerates every field,
+// in declaration order, with the field's value. The tracing layer folds
+// Visit into per-epoch metrics, so a field missing here silently vanishes
+// from traces.
+func TestStatsVisitCoversEveryField(t *testing.T) {
+	s := distinctStats(5_000)
+	v := reflect.ValueOf(s)
+	typ := v.Type()
+
+	var names []string
+	seen := map[string]int64{}
+	s.Visit(func(name string, val int64) {
+		if _, dup := seen[name]; dup {
+			t.Errorf("Visit reports %q twice", name)
+		}
+		seen[name] = val
+		names = append(names, name)
+	})
+
+	if len(names) != typ.NumField() {
+		t.Fatalf("Visit reports %d counters, struct has %d fields", len(names), typ.NumField())
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		want := v.Field(i).Int()
+		if got := seen[names[i]]; got != want {
+			t.Errorf("Visit entry %d (%q) = %d, want field %s = %d (order or coverage drift)",
+				i, names[i], got, typ.Field(i).Name, want)
+		}
+	}
+}
+
+// TestStatsStringCoversEveryField pins that String renders every field: set
+// one field at a time to a sentinel and require the sentinel to appear.
+func TestStatsStringCoversEveryField(t *testing.T) {
+	typ := reflect.TypeOf(Stats{})
+	for i := 0; i < typ.NumField(); i++ {
+		var s Stats
+		sentinel := int64(987_654_321)
+		reflect.ValueOf(&s).Elem().Field(i).SetInt(sentinel)
+		if out := s.String(); !strings.Contains(out, fmt.Sprint(sentinel)) {
+			t.Errorf("String does not render field %s: %s", typ.Field(i).Name, out)
+		}
+	}
+}
+
+// TestStatsFieldsAreCounters guards the reflection tests' own assumption:
+// every Stats field is an int64 counter. A differently-typed field would
+// need Sub/Visit/String *and* these tests extended together.
+func TestStatsFieldsAreCounters(t *testing.T) {
+	typ := reflect.TypeOf(Stats{})
+	for i := 0; i < typ.NumField(); i++ {
+		if f := typ.Field(i); f.Type.Kind() != reflect.Int64 {
+			t.Errorf("field %s has type %s; Stats fields must be int64 counters", f.Name, f.Type)
+		}
+	}
+}

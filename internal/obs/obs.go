@@ -1,0 +1,349 @@
+// Package obs is the deterministic tracing and metrics layer of the
+// simulator: phase-attributed spans and a typed metrics registry, both
+// driven exclusively by the simulated nvm cost clock — never wall time.
+//
+// Because every timestamp is simulated picoseconds, a trace is a pure
+// function of the workload and the cost model: running the same cell
+// serially or under an 8-worker sweep produces byte-identical output, an
+// observability property real NVM rigs cannot offer (their traces jitter
+// with the measurement). The layer is zero-overhead when disabled: all
+// Recorder methods are nil-receiver safe no-ops, so call sites need no
+// guard and hot paths pay nothing beyond a dead branch.
+//
+// A Recorder belongs to one simulation cell (one device/clock), exactly
+// like the device it observes: it is not safe for concurrent use. Sweeps
+// collect one Recorder per cell and merge them, in cell order, into a
+// Trace (see sched.Collector), which exports to Chrome trace-event JSON
+// (Perfetto-loadable), CSV, or a compact text summary.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"libcrpm/internal/nvm"
+)
+
+// Span is one phase-attributed interval on the simulated clock.
+type Span struct {
+	// Name is the phase label ("checkpoint", "flush", "cow", ...).
+	Name string
+	// Start and End are simulated picosecond timestamps.
+	Start int64
+	End   int64
+	// Ticks is End - Start, the simulated time attributed to the phase.
+	Ticks int64
+	// Depth is the nesting depth at emission (0 = top level), so exporters
+	// can rebuild the phase hierarchy without re-deriving containment.
+	Depth int
+}
+
+// Traceable is implemented by checkpoint backends that can attach a
+// Recorder after construction (the container and the instrumented
+// baselines).
+type Traceable interface {
+	SetTrace(*Recorder)
+}
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histKind
+)
+
+// metric is one registry entry. Counters and gauges use value; histograms
+// use the bucket fields.
+type metric struct {
+	name   string
+	kind   metricKind
+	value  int64
+	bounds []int64 // bucket upper bounds, ascending; implicit +Inf last
+	counts []int64 // len(bounds)+1
+	sum    int64
+	n      int64
+	min    int64
+	max    int64
+}
+
+// openSpan is a stack frame of an in-flight Begin.
+type openSpan struct {
+	name  string
+	start int64
+	depth int
+}
+
+// Recorder collects spans and metrics for one simulation cell. The zero
+// value is not usable; construct with NewRecorder. A nil *Recorder is a
+// valid "tracing disabled" recorder: every method is a no-op.
+type Recorder struct {
+	clock   *nvm.Clock
+	spans   []Span
+	stack   []openSpan
+	names   map[string]int
+	metrics []metric
+}
+
+// NewRecorder returns a recorder reading timestamps from the given
+// simulated clock.
+func NewRecorder(clock *nvm.Clock) *Recorder {
+	if clock == nil {
+		panic("obs: NewRecorder needs a clock")
+	}
+	return &Recorder{clock: clock, names: make(map[string]int)}
+}
+
+// Enabled reports whether the recorder actually records (r != nil). Call
+// sites never need it for correctness — it exists to skip expensive label
+// construction.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Begin opens a span. Spans nest; each Begin must be matched by one End.
+func (r *Recorder) Begin(name string) {
+	if r == nil {
+		return
+	}
+	r.stack = append(r.stack, openSpan{name: name, start: r.clock.NowPS(), depth: len(r.stack)})
+}
+
+// End closes the innermost open span and records it.
+func (r *Recorder) End() {
+	if r == nil {
+		return
+	}
+	n := len(r.stack)
+	if n == 0 {
+		panic("obs: End without matching Begin")
+	}
+	o := r.stack[n-1]
+	r.stack = r.stack[:n-1]
+	now := r.clock.NowPS()
+	r.spans = append(r.spans, Span{
+		Name:  o.name,
+		Start: o.start,
+		End:   now,
+		Ticks: now - o.start,
+		Depth: o.depth,
+	})
+}
+
+// Spans returns the recorded spans in completion order (children before
+// their parents). The slice is owned by the recorder.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// lookup finds or creates the registry entry for name.
+func (r *Recorder) lookup(name string, kind metricKind) *metric {
+	if i, ok := r.names[name]; ok {
+		m := &r.metrics[i]
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		return m
+	}
+	r.names[name] = len(r.metrics)
+	r.metrics = append(r.metrics, metric{name: name, kind: kind, min: math.MaxInt64, max: math.MinInt64})
+	return &r.metrics[len(r.metrics)-1]
+}
+
+// Count adds delta to the named counter.
+func (r *Recorder) Count(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, counterKind).value += delta
+}
+
+// SetGauge records the current value of the named gauge (last write wins).
+func (r *Recorder) SetGauge(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, gaugeKind).value = v
+}
+
+// Observe adds one sample to the named fixed-bucket histogram. bounds are
+// the ascending bucket upper bounds (inclusive), fixed at the histogram's
+// first observation; an implicit +Inf bucket catches the overflow.
+func (r *Recorder) Observe(name string, bounds []int64, v int64) {
+	if r == nil {
+		return
+	}
+	m := r.lookup(name, histKind)
+	if m.counts == nil {
+		m.bounds = bounds
+		m.counts = make([]int64, len(bounds)+1)
+	}
+	i := sort.Search(len(m.bounds), func(i int) bool { return v <= m.bounds[i] })
+	m.counts[i]++
+	m.sum += v
+	m.n++
+	if v < m.min {
+		m.min = v
+	}
+	if v > m.max {
+		m.max = v
+	}
+}
+
+// PauseBounds are the bucket upper bounds (simulated picoseconds) of the
+// checkpoint-pause histogram: 1 µs to ~4.2 s in factor-of-4 steps.
+var PauseBounds = ExpBounds(1_000_000, 4, 12)
+
+// AmpBounds are the bucket upper bounds (percent) of the per-epoch media
+// write-amplification histogram: 100% is amplification-free.
+var AmpBounds = []int64{100, 125, 150, 200, 300, 400, 600, 800, 1200, 1600, 3200, 6400}
+
+// ExpBounds builds n exponential bucket bounds: start, start*factor, ...
+func ExpBounds(start int64, factor int64, n int) []int64 {
+	out := make([]int64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// RecordEpoch folds one epoch's device-stat delta into the registry —
+// subsuming the flat per-epoch nvm.Stats diffing the harnesses used to do
+// by hand — and feeds the two headline histograms: checkpoint pause and
+// media write amplification (media bytes over bytes actually persisted:
+// flushed lines plus non-temporal stores).
+func (r *Recorder) RecordEpoch(delta nvm.Stats, pausePS int64) {
+	if r == nil {
+		return
+	}
+	delta.Visit(func(name string, v int64) {
+		if v != 0 {
+			r.Count("stats/"+name, v)
+		}
+	})
+	r.Count("epochs", 1)
+	r.Observe("ckpt/pause_ps", PauseBounds, pausePS)
+	persisted := delta.FlushedLines*nvm.LineSize + delta.NTStoreBytes
+	if persisted > 0 {
+		r.Observe("ckpt/write_amp_pct", AmpBounds, delta.MediaWriteBytes*100/persisted)
+	}
+}
+
+// SpanTotal aggregates every span of one name.
+type SpanTotal struct {
+	Name  string
+	Count int
+	Ticks int64
+}
+
+// SpanTotals returns per-name span aggregates, sorted by name.
+func (r *Recorder) SpanTotals() []SpanTotal {
+	if r == nil {
+		return nil
+	}
+	idx := make(map[string]int)
+	var out []SpanTotal
+	for _, s := range r.spans {
+		i, ok := idx[s.Name]
+		if !ok {
+			i = len(out)
+			idx[s.Name] = i
+			out = append(out, SpanTotal{Name: s.Name})
+		}
+		out[i].Count++
+		out[i].Ticks += s.Ticks
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Counter is an exported registry view.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Gauge is an exported registry view.
+type Gauge struct {
+	Name  string
+	Value int64
+}
+
+// Histogram is an exported registry view. Counts has one entry per bound
+// plus the trailing +Inf bucket.
+type Histogram struct {
+	Name   string
+	Bounds []int64
+	Counts []int64
+	Sum    int64
+	N      int64
+	Min    int64
+	Max    int64
+}
+
+// Track is the immutable snapshot of one cell's recorder, labelled for
+// merge into a Trace. Metric slices are sorted by name so merged output is
+// independent of registration order.
+type Track struct {
+	Label      string
+	Spans      []Span
+	Counters   []Counter
+	Gauges     []Gauge
+	Histograms []Histogram
+}
+
+// Snapshot captures the recorder's state as a labelled track. A nil
+// recorder snapshots to an empty track.
+func (r *Recorder) Snapshot(label string) Track {
+	t := Track{Label: label}
+	if r == nil {
+		return t
+	}
+	t.Spans = append([]Span(nil), r.spans...)
+	names := make([]string, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		names = append(names, m.name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := r.metrics[r.names[name]]
+		switch m.kind {
+		case counterKind:
+			t.Counters = append(t.Counters, Counter{Name: m.name, Value: m.value})
+		case gaugeKind:
+			t.Gauges = append(t.Gauges, Gauge{Name: m.name, Value: m.value})
+		case histKind:
+			t.Histograms = append(t.Histograms, Histogram{
+				Name:   m.name,
+				Bounds: append([]int64(nil), m.bounds...),
+				Counts: append([]int64(nil), m.counts...),
+				Sum:    m.sum,
+				N:      m.n,
+				Min:    m.min,
+				Max:    m.max,
+			})
+		}
+	}
+	return t
+}
+
+// Trace is an ordered collection of tracks — one per simulation cell —
+// ready for export. Track order is the merge order, so callers reducing a
+// parallel sweep must add tracks in cell order (not completion order).
+type Trace struct {
+	Tracks []Track
+}
+
+// Add snapshots a recorder into the trace. Nil recorders are skipped, so
+// sweeps can pass through cells that ran with tracing disabled.
+func (t *Trace) Add(label string, r *Recorder) {
+	if r == nil {
+		return
+	}
+	t.Tracks = append(t.Tracks, r.Snapshot(label))
+}

@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"testing"
+)
+
+// TestCollectorOrdersByIndex pins the Collector contract: values Put from
+// concurrently running cells come back indexed by cell, not by completion
+// order — the same ordered-reduction property MapErr gives its results.
+func TestCollectorOrdersByIndex(t *testing.T) {
+	const n = 64
+	c := NewCollector[int](n)
+	_, err := MapErr(n, Options{Workers: 8}, func(i int) (struct{}, error) {
+		c.Put(i, i*10)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := c.Items()
+	if len(items) != n {
+		t.Fatalf("got %d items, want %d", len(items), n)
+	}
+	for i, v := range items {
+		if v != i*10 {
+			t.Fatalf("items[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+}
+
+// TestCollectorItemsIsACopy pins that Items returns a snapshot: later Puts
+// must not mutate a slice a caller already holds.
+func TestCollectorItemsIsACopy(t *testing.T) {
+	c := NewCollector[string](2)
+	c.Put(0, "a")
+	snap := c.Items()
+	c.Put(1, "b")
+	if snap[1] != "" {
+		t.Fatalf("snapshot saw later Put: %v", snap)
+	}
+}
+
+// TestCollectorUnsetCellsAreZero pins that skipped cells (errored or
+// never-run) read back as zero values, matching MapErr's skipped-cell rule.
+func TestCollectorUnsetCellsAreZero(t *testing.T) {
+	c := NewCollector[*int](3)
+	v := 7
+	c.Put(1, &v)
+	items := c.Items()
+	if items[0] != nil || items[2] != nil {
+		t.Fatalf("unset cells not zero: %v", items)
+	}
+	if items[1] == nil || *items[1] != 7 {
+		t.Fatalf("set cell lost: %v", items)
+	}
+}

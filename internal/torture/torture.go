@@ -21,6 +21,7 @@ import (
 
 	"libcrpm/internal/core"
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/obs"
 	"libcrpm/internal/region"
 	"libcrpm/internal/sched"
 )
@@ -124,6 +125,11 @@ type Config struct {
 	// container still works: one more write, checkpoint, clean restart,
 	// reread.
 	Liveness bool
+	// Trace records phase spans (on the simulated clock) for each mode's
+	// reference run into Result.Trace, one track per mode. Replays are not
+	// traced: a crash-point sweep runs thousands of them, and the reference
+	// run already shows where each mode's protocol time goes.
+	Trace bool
 	// Parallel bounds the number of crash-point replays in flight
 	// (0 = GOMAXPROCS, 1 = serial). Every replay owns a fresh device and
 	// reads only the shared script and shadow snapshots, and violations are
@@ -188,6 +194,9 @@ type Result struct {
 	Replays int
 	// Violations lists every consistency failure (empty = sweep passed).
 	Violations []Violation
+	// Trace holds the reference runs' phase spans when Config.Trace is set
+	// (one track per mode, in mode order); nil otherwise.
+	Trace *obs.Trace
 }
 
 // OK reports whether the sweep found no violations.
@@ -203,9 +212,15 @@ func Sweep(cfg Config) (Result, error) {
 	script := BuildScript(cfg.Seed, cfg.Region.HeapSize, cfg.Steps, cfg.CkptEvery)
 
 	for _, mode := range cfg.Modes {
-		first, total, shadows, err := reference(cfg, mode, script)
+		first, total, shadows, rec, err := reference(cfg, mode, script)
 		if err != nil {
 			return res, fmt.Errorf("torture: reference run (%s): %w", mode.Name, err)
+		}
+		if rec != nil {
+			if res.Trace == nil {
+				res.Trace = &obs.Trace{}
+			}
+			res.Trace.Add("torture/"+mode.Name+"/reference", rec)
 		}
 		for _, pol := range cfg.Policies {
 			var ks []int64
@@ -256,17 +271,21 @@ func replayCell(cfg Config, mode Mode, pol Policy, script []Step, shadows map[ui
 }
 
 // reference runs the script without crashing, returning the primitive index
-// of the first script operation, the total primitive count, and the shadow
-// heap of every committed epoch.
-func reference(cfg Config, mode Mode, script []Step) (first, total int64, shadows map[uint64][]byte, err error) {
+// of the first script operation, the total primitive count, the shadow heap
+// of every committed epoch, and (when cfg.Trace) the run's phase recorder.
+func reference(cfg Config, mode Mode, script []Step) (first, total int64, shadows map[uint64][]byte, rec *obs.Recorder, err error) {
 	dev, c, err := freshContainer(cfg, mode)
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, nil, err
+	}
+	if cfg.Trace {
+		rec = obs.NewRecorder(dev.Clock())
+		c.SetTrace(rec)
 	}
 	first = dev.PrimitiveCount()
 	shadows = map[uint64][]byte{0: make([]byte, c.Size())}
 	runScript(c, script, shadows)
-	return first, dev.PrimitiveCount(), shadows, nil
+	return first, dev.PrimitiveCount(), shadows, rec, nil
 }
 
 func freshContainer(cfg Config, mode Mode) (*nvm.Device, *core.Container, error) {

@@ -89,11 +89,11 @@ func TestSweepReferenceDeterminism(t *testing.T) {
 	cfg := Config{Checksums: true}.withDefaults()
 	script := BuildScript(cfg.Seed, cfg.Region.HeapSize, cfg.Steps, cfg.CkptEvery)
 	m := cfg.Modes[0]
-	f1, t1, s1, err := reference(cfg, m, script)
+	f1, t1, s1, _, err := reference(cfg, m, script)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f2, t2, s2, err := reference(cfg, m, script)
+	f2, t2, s2, _, err := reference(cfg, m, script)
 	if err != nil {
 		t.Fatal(err)
 	}

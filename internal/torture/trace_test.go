@@ -1,0 +1,70 @@
+package torture
+
+import (
+	"testing"
+)
+
+// quickTraceCfg is a small, strided sweep configuration used by the trace
+// tests; the crash matrix itself is exercised elsewhere.
+func quickTraceCfg(trace bool) Config {
+	return Config{Steps: 60, CkptEvery: 20, Stride: 29, Trace: trace}
+}
+
+// TestSweepTraceOneTrackPerMode pins the torture tracing contract: with
+// Config.Trace set, the result carries exactly one labelled track per mode
+// (the reference run), each with checkpoint phase spans; replays stay
+// untraced.
+func TestSweepTraceOneTrackPerMode(t *testing.T) {
+	res, err := Sweep(quickTraceCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("sweep found violations: %v", res.Violations)
+	}
+	if res.Trace == nil {
+		t.Fatal("traced sweep returned no trace")
+	}
+	modes := StandardModes()
+	if len(res.Trace.Tracks) != len(modes) {
+		t.Fatalf("got %d tracks, want one per mode (%d)", len(res.Trace.Tracks), len(modes))
+	}
+	for i, tk := range res.Trace.Tracks {
+		want := "torture/" + modes[i].Name + "/reference"
+		if tk.Label != want {
+			t.Errorf("track %d label %q, want %q", i, tk.Label, want)
+		}
+		found := false
+		for _, s := range tk.Spans {
+			if s.Name == "checkpoint" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("track %q has no checkpoint span", tk.Label)
+		}
+	}
+}
+
+// TestSweepTraceDoesNotChangeOutcome pins that tracing the reference runs
+// perturbs nothing: same replay count and violation report either way.
+func TestSweepTraceDoesNotChangeOutcome(t *testing.T) {
+	plain, err := Sweep(quickTraceCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced sweep returned a trace")
+	}
+	traced, err := Sweep(quickTraceCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Replays != traced.Replays {
+		t.Fatalf("replay count changed under tracing: %d vs %d", plain.Replays, traced.Replays)
+	}
+	if len(plain.Violations) != len(traced.Violations) {
+		t.Fatalf("violations changed under tracing: %v vs %v", plain.Violations, traced.Violations)
+	}
+}
