@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz torture results examples fmt vet clean
+.PHONY: all build test test-short race cover bench fuzz torture serve results examples fmt vet clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/mpi/ ./internal/apps/... ./internal/sched/ ./internal/torture/ .
+	$(GO) test -race ./internal/core/ ./internal/mpi/ ./internal/apps/... ./internal/sched/ ./internal/server/ ./internal/torture/ .
 	$(GO) test -race -short ./internal/harness/
 
 cover:
@@ -37,6 +37,11 @@ torture:
 	$(GO) test ./internal/torture/
 	$(GO) run ./cmd/crpmtorture
 	$(GO) run ./cmd/crpmtorture -adversarial -checksums=false
+
+# Sharded recoverable KV service smoke: YCSB-A over coordinated per-shard
+# checkpoints with full acked-op verification (see DESIGN.md §10).
+serve:
+	$(GO) run ./cmd/crpmserve -shards 4 -clients 8 -mix a -ops 1000000
 
 # Regenerate every table and figure of the paper's evaluation.
 results:

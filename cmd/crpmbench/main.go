@@ -8,7 +8,7 @@
 //	crpmbench -list
 //
 // Experiments: fig1, fig7, fig8, fig9, fig10a, fig10b, table1a, table1b,
-// recovery, storage, ablations, all.
+// service, recovery, storage, ablations, all.
 package main
 
 import (
@@ -71,6 +71,7 @@ func experiments() []experiment {
 		{"fig10b", "throughput vs block size (Figure 10b)", one(harness.Fig10bBlock)},
 		{"table1a", "average checkpoint size per operation (Table 1a)", one(harness.Table1a)},
 		{"table1b", "sfence instructions per epoch (Table 1b)", one(harness.Table1b)},
+		{"service", "sharded KV service throughput and cut pause vs shard count (extension)", one(harness.ServiceFigure)},
 		{"recovery", "LULESH recovery time (§5.5)", one(harness.RecoveryTime)},
 		{"pauses", "checkpoint pause-time distribution (extension)", one(harness.PauseTimes)},
 		{"storage", "storage cost of LULESH (§5.6)", one(harness.StorageCost)},

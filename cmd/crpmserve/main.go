@@ -1,0 +1,246 @@
+// Command crpmserve runs the sharded recoverable KV service against a
+// YCSB workload on simulated NVM devices: N shards (one container, one
+// device, one request-loop rank each), M deterministic client streams, and
+// policy-driven coordinated consistent cuts, with full shadow verification
+// of every acked operation at the end of the run.
+//
+// Usage:
+//
+//	crpmserve -shards 4 -clients 8 -mix a -ops 1000000
+//	crpmserve -mix e -ds rbmap -policy interval:8ms -trace serve.trace.json
+//	crpmserve -shards 4 -clients 8 -mix a -ops 200000 -json serve.json
+//
+// All output on stdout (and in -json / -trace files) is a pure function of
+// the flags: timestamps are simulated picoseconds and streams are label-hash
+// seeded, so runs are byte-identical at any -parallel level. Wall-clock is
+// reported on stderr only. Exit code is non-zero if verification finds any
+// consistency violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"libcrpm/internal/core"
+	"libcrpm/internal/harness"
+	"libcrpm/internal/obs"
+	"libcrpm/internal/server"
+	"libcrpm/internal/workload"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	shards := flag.Int("shards", 4, "shard count (one container+device+rank per shard)")
+	clients := flag.Int("clients", 8, "client stream count")
+	mixName := flag.String("mix", "a", "YCSB mix: a-f or crud")
+	ops := flag.Int("ops", 200_000, "total operations across all clients")
+	keys := flag.Uint64("keys", 100_000, "initially populated key-space size")
+	backend := flag.String("backend", "default", "libcrpm container mode: default | buffered")
+	ds := flag.String("ds", "hashmap", "per-shard structure: hashmap | rbmap")
+	policySpec := flag.String("policy", "ops:16384", "cut policy: ops:N | interval:DUR | dirty:BYTES")
+	heap := flag.Int("heap", 8<<20, "per-shard container heap bytes")
+	buckets := flag.Int("buckets", 1<<15, "hash-map buckets per shard")
+	batch := flag.Int("batch", 2048, "global ops per policy decision batch")
+	seed := flag.Int64("seed", 1, "label-hash seed for all client streams")
+	parallel := flag.Int("parallel", 0, "verification cells in flight (0 = GOMAXPROCS); never changes output bytes")
+	jsonPath := flag.String("json", "", "write per-shard and aggregate metrics (harness table schema) to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of per-shard spans to this file")
+	flag.Parse()
+
+	mix, err := workload.YCSBByName(*mixName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	policy, err := server.ParsePolicy(*policySpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var mode core.Mode
+	switch strings.ToLower(*backend) {
+	case "default":
+		mode = core.ModeDefault
+	case "buffered":
+		mode = core.ModeBuffered
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q (default|buffered)\n", *backend)
+		return 2
+	}
+	var kind server.DSKind
+	switch strings.ToLower(*ds) {
+	case "hashmap", "unordered_map":
+		kind = server.DSHashMap
+	case "rbmap", "map":
+		kind = server.DSRBMap
+	default:
+		fmt.Fprintf(os.Stderr, "unknown structure %q (hashmap|rbmap)\n", *ds)
+		return 2
+	}
+
+	cfg := server.Config{
+		Shards:   *shards,
+		Clients:  *clients,
+		Mix:      mix,
+		Ops:      *ops,
+		Keys:     *keys,
+		DS:       kind,
+		Mode:     mode,
+		HeapSize: *heap,
+		Buckets:  *buckets,
+		BatchOps: *batch,
+		Policy:   policy,
+		Seed:     *seed,
+		Parallel: *parallel,
+		Trace:    *tracePath != "" || *jsonPath != "",
+	}
+	svc, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	wallStart := time.Now()
+	res, err := svc.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	wall := time.Since(wallStart)
+
+	t := buildTable(cfg, *backend, *ds, res)
+	fmt.Println(t)
+	fmt.Fprintf(os.Stderr, "served %d ops on %d shards in %v wall\n", res.TotalOps, cfg.Shards, wall.Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, t); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, res.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d tracks; open at ui.perfetto.dev)\n", *tracePath, len(res.Trace.Tracks))
+	}
+
+	if !res.OK() {
+		fmt.Fprintf(os.Stderr, "FAIL: %d consistency violations:\n", len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "  %v\n", v)
+		}
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "verification passed: every acked op present, zero violations")
+	return 0
+}
+
+// buildTable renders the run as a harness table: printable rows plus the
+// machine-readable metrics that join the BENCH_*.json trajectory. Every
+// value is simulated-clock derived, so the table (and the JSON built from
+// it) is byte-identical across runs and -parallel settings.
+func buildTable(cfg server.Config, backend, ds string, res *server.Result) harness.Table {
+	t := harness.Table{
+		Title: fmt.Sprintf("crpmserve: %d shards x %d clients, YCSB-%s, %s/%s, %s, %d ops",
+			cfg.Shards, cfg.Clients, cfg.Mix.Name, backend, ds, cfg.Policy.Name(), cfg.Ops),
+		Header: []string{"shard", "ops", "cuts", "epoch", "sim-ms", "Mops/s", "p50-lat-us", "p99-lat-us", "p99-pause-us", "max-pause-us"},
+	}
+	ps2ms := func(ps int64) string { return fmt.Sprintf("%.3f", float64(ps)/1e9) }
+	ps2us := func(ps int64) string { return fmt.Sprintf("%.3f", float64(ps)/1e6) }
+	for _, st := range res.Shards {
+		var tput float64
+		if st.SimPS > 0 {
+			tput = float64(st.Ops) * 1e12 / float64(st.SimPS) / 1e6
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", st.Shard),
+			fmt.Sprintf("%d", st.Ops),
+			fmt.Sprintf("%d", st.Cuts),
+			fmt.Sprintf("%d", st.Epoch),
+			ps2ms(st.SimPS),
+			fmt.Sprintf("%.3f", tput),
+			ps2us(st.P50LatPS),
+			ps2us(st.P99LatPS),
+			ps2us(st.P99PausePS),
+			ps2us(st.PauseMaxPS),
+		})
+		pfx := fmt.Sprintf("serve_shard%d_", st.Shard)
+		t.AddMetric(pfx+"ops", float64(st.Ops))
+		t.AddMetric(pfx+"cuts", float64(st.Cuts))
+		t.AddMetric(pfx+"sim_ms", float64(st.SimPS)/1e9)
+		t.AddMetric(pfx+"p99_lat_us", float64(st.P99LatPS)/1e6)
+		t.AddMetric(pfx+"p99_pause_us", float64(st.P99PausePS)/1e6)
+	}
+	t.Rows = append(t.Rows, []string{
+		"all",
+		fmt.Sprintf("%d", res.TotalOps),
+		fmt.Sprintf("%d", res.Cuts),
+		"",
+		ps2ms(res.SimPS),
+		fmt.Sprintf("%.3f", res.ThroughputOps/1e6),
+		"", ps2us(res.P99LatPS), "", ps2us(res.MaxPausePS),
+	})
+	t.AddMetric("serve_total_ops", float64(res.TotalOps))
+	t.AddMetric("serve_cuts", float64(res.Cuts))
+	t.AddMetric("serve_sim_ms", float64(res.SimPS)/1e9)
+	t.AddMetric("serve_tput_mops", res.ThroughputOps/1e6)
+	t.AddMetric("serve_p99_lat_us", float64(res.P99LatPS)/1e6)
+	t.AddMetric("serve_max_pause_us", float64(res.MaxPausePS)/1e6)
+	t.AddMetric("serve_violations", float64(len(res.Violations)))
+	return t
+}
+
+// writeJSON emits the crpmbench trajectory schema (experiments → tables →
+// metrics) with no wall-clock fields, so the file is byte-identical across
+// runs and joins BENCH_*.json diffs directly.
+func writeJSON(path string, t harness.Table) error {
+	out := struct {
+		Experiments []struct {
+			Name   string `json:"name"`
+			Tables []struct {
+				Title   string             `json:"title"`
+				Metrics map[string]float64 `json:"metrics,omitempty"`
+			} `json:"tables"`
+		} `json:"experiments"`
+	}{}
+	out.Experiments = append(out.Experiments, struct {
+		Name   string `json:"name"`
+		Tables []struct {
+			Title   string             `json:"title"`
+			Metrics map[string]float64 `json:"metrics,omitempty"`
+		} `json:"tables"`
+	}{
+		Name: "serve",
+		Tables: []struct {
+			Title   string             `json:"title"`
+			Metrics map[string]float64 `json:"metrics,omitempty"`
+		}{{Title: t.Title, Metrics: t.Metrics}},
+	})
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func writeTrace(path string, tr *obs.Trace) error {
+	if tr == nil {
+		tr = &obs.Trace{}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = obs.WriteChromeTrace(f, tr)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

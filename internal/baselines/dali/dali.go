@@ -20,7 +20,11 @@ import (
 
 	"libcrpm/internal/bitmap"
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/pds"
 )
+
+// Map implements pds.KV (with documented Delete/Scan limitations).
+var _ pds.KV = (*Map)(nil)
 
 // Magic identifies a formatted Dalí map.
 const Magic uint64 = 0x4352504d44414c49 // "CRPMDALI"
@@ -137,6 +141,18 @@ func (m *Map) Device() *nvm.Device { return m.dev }
 
 // Name identifies the system in experiment output.
 func (m *Map) Name() string { return "Dali" }
+
+// Delete implements pds.KV but is unsupported: Dalí's versioned bucket
+// chains have no tombstone format in this simplified baseline (the paper's
+// workloads use insert, update, and get only), so Delete always returns
+// false and leaves the map unchanged. Workloads that exercise deletes must
+// run on the libcrpm-backed structures.
+func (m *Map) Delete(key uint64) bool { return false }
+
+// Scan implements pds.KV but is unsupported: Dalí buckets order entries by
+// version, not by key, and the baseline keeps no ordered index. Scan always
+// returns nil; ordered range queries belong on the libcrpm-backed RBMap.
+func (m *Map) Scan(start uint64, n int) []pds.Pair { return nil }
 
 // Len returns the number of live keys.
 func (m *Map) Len() int { return m.lenCache }

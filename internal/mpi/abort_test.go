@@ -1,0 +1,187 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"libcrpm/internal/core"
+	"libcrpm/internal/nvm"
+	"libcrpm/internal/region"
+)
+
+// TestAbortUnparksRanks: ranks parked at a barrier a crashed rank will
+// never reach must unwind with the typed Aborted panic instead of
+// deadlocking the world.
+func TestAbortUnparksRanks(t *testing.T) {
+	const ranks = 4
+	var aborted atomic.Int32
+	w := NewWorld(ranks)
+	w.Run(func(c *Comm) {
+		defer func() {
+			if r := recover(); r != nil {
+				a, ok := r.(Aborted)
+				if !ok {
+					panic(r)
+				}
+				if a.Rank != 2 {
+					t.Errorf("aborted by rank %d, want 2", a.Rank)
+				}
+				aborted.Add(1)
+			}
+		}()
+		c.Barrier() // everyone reaches the first barrier
+		if c.Rank() == 2 {
+			c.Abort() // "crashed" before the second barrier
+			return
+		}
+		c.Barrier() // parks until the abort, then panics Aborted
+		t.Errorf("rank %d passed a barrier rank 2 never reached", c.Rank())
+	})
+	if got := aborted.Load(); got != ranks-1 {
+		t.Fatalf("%d ranks saw the abort, want %d", got, ranks-1)
+	}
+}
+
+// TestAbortDoesNotFailCompletedBarrier: an abort raised after a barrier's
+// generation advanced must not retroactively fail ranks still waking from
+// it — only the next collective may fail.
+func TestAbortDoesNotFailCompletedBarrier(t *testing.T) {
+	const ranks = 8
+	for trial := 0; trial < 50; trial++ {
+		var completed atomic.Int32
+		w := NewWorld(ranks)
+		w.Run(func(c *Comm) {
+			defer func() { recover() }()
+			c.Barrier()
+			completed.Add(1) // the barrier completed for this rank
+			if c.Rank() == 0 {
+				c.Abort()
+				return
+			}
+			c.Barrier() // this one is allowed (and expected) to abort
+		})
+		if got := completed.Load(); got != ranks {
+			t.Fatalf("trial %d: only %d/%d ranks passed the completed barrier", trial, got, ranks)
+		}
+	}
+}
+
+// TestCommitBarrierWindowConverges is the satellite coordinated-recovery
+// test: a crash is injected inside the commit-to-barrier window of a
+// coordinated checkpoint — two ranks already committed epoch 4, one rank
+// crashes mid-commit (primitive-level injection), one never started — and
+// recovery must roll the ahead ranks back one epoch so all ranks converge
+// on the same globally committed epoch with that epoch's exact state.
+func TestCommitBarrierWindowConverges(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeDefault, core.ModeBuffered} {
+		const (
+			ranks     = 4
+			preEpochs = 3
+		)
+		opts := ContainerOptions(regCfg(), mode)
+		l, err := region.NewLayout(opts.Region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs := make([]*nvm.Device, ranks)
+
+		w := NewWorld(ranks)
+		w.Run(func(c *Comm) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(Aborted); !ok {
+						panic(r)
+					}
+				}
+			}()
+			rank := c.Rank()
+			devs[rank] = nvm.NewDevice(l.DeviceSize())
+			ctr, err := core.NewContainer(devs[rank], opts)
+			if err != nil {
+				t.Error(err)
+				c.Abort()
+				return
+			}
+			for e := 1; e <= preEpochs; e++ {
+				writeU64(ctr, 8*rank, uint64(1000*e+rank))
+				if err := Checkpoint(c, ctr); err != nil {
+					t.Error(err)
+					c.Abort()
+					return
+				}
+			}
+			// Epoch 4: the window. All ranks have epoch-4 writes in flight.
+			writeU64(ctr, 8*rank, uint64(4000+rank))
+			switch rank {
+			case 0, 1:
+				// Committed epoch 4, crashed before reaching the barrier.
+				if err := ctr.Checkpoint(); err != nil {
+					t.Error(err)
+				}
+			case 2:
+				// Crashes mid-commit: the injected panic fires on a device
+				// primitive inside the checkpoint protocol.
+				devs[rank].FailAfter(40)
+				func() {
+					defer func() {
+						r := recover()
+						if _, ok := r.(nvm.InjectedCrash); !ok && r != nil {
+							panic(r)
+						}
+					}()
+					_ = ctr.Checkpoint()
+				}()
+				c.Abort() // the failure detector: unpark the survivors
+			case 3:
+				// Never starts its commit; parks at the coordination barrier.
+				c.Barrier()
+				t.Errorf("rank 3 passed the barrier of a crashed epoch")
+			}
+		})
+
+		// Power-fail every device, then inspect the divergence window.
+		rng := rand.New(rand.NewSource(13))
+		for _, d := range devs {
+			d.Crash(rng)
+		}
+		ctrs := make([]*core.Container, ranks)
+		epochsBefore := make([]uint64, ranks)
+		var lo, hi uint64 = ^uint64(0), 0
+		for r, d := range devs {
+			ctr, err := core.OpenContainerDeferRecovery(d, opts)
+			if err != nil {
+				t.Fatalf("mode %v rank %d: %v", mode, r, err)
+			}
+			ctrs[r] = ctr
+			epochsBefore[r] = ctr.CommittedEpoch()
+			if epochsBefore[r] < lo {
+				lo = epochsBefore[r]
+			}
+			if epochsBefore[r] > hi {
+				hi = epochsBefore[r]
+			}
+		}
+		if lo != preEpochs || hi != preEpochs+1 {
+			t.Fatalf("mode %v: committed epochs %v, want a [%d,%d] window", mode, epochsBefore, preEpochs, preEpochs+1)
+		}
+
+		// Coordinated recovery: ahead ranks roll back one epoch; all converge.
+		w2 := NewWorld(ranks)
+		w2.Run(func(c *Comm) {
+			if err := Recover(c, ctrs[c.Rank()]); err != nil {
+				t.Errorf("rank %d recover: %v", c.Rank(), err)
+			}
+		})
+		for r, ctr := range ctrs {
+			if got := ctr.CommittedEpoch(); got != lo {
+				t.Errorf("mode %v rank %d: recovered to epoch %d, want %d", mode, r, got, lo)
+			}
+			got := binary.LittleEndian.Uint64(ctr.Bytes()[8*r:])
+			if want := uint64(1000*preEpochs + r); got != want {
+				t.Errorf("mode %v rank %d: value %d, want %d (epoch-%d state)", mode, r, got, want, lo)
+			}
+		}
+	}
+}

@@ -24,6 +24,8 @@ type World struct {
 	cond    *sync.Cond
 	arrived int
 	gen     uint64
+	aborted bool
+	abortBy int
 
 	clocks []*nvm.Clock
 
@@ -31,6 +33,20 @@ type World struct {
 	redF64 []float64
 
 	mail [][]chan []float64
+}
+
+// Aborted is the panic value raised on ranks parked in (or later entering)
+// a collective after another rank called Abort. It carries the aborting
+// rank so recovery logic can tell the failed rank from the bystanders.
+type Aborted struct {
+	// Rank is the rank that called Abort.
+	Rank int
+}
+
+// Error implements error so sched.PanicError.Unwrap and errors.As chains
+// can classify an escaped abort.
+func (a Aborted) Error() string {
+	return fmt.Sprintf("mpi: world aborted by rank %d", a.Rank)
 }
 
 // NewWorld creates a world of n ranks.
@@ -96,11 +112,32 @@ func (c *Comm) Size() int { return c.w.size }
 // clocks to the slowest rank.
 func (c *Comm) AttachClock(clk *nvm.Clock) { c.w.clocks[c.rank] = clk }
 
+// Abort marks the world failed and wakes every rank parked in a collective;
+// they (and any rank entering one later) panic with Aborted. A crashed rank
+// calls Abort so its peers unwind instead of waiting forever at a barrier
+// the crashed rank will never reach. The world is unusable afterwards —
+// recovery builds a fresh one.
+func (c *Comm) Abort() {
+	w := c.w
+	w.mu.Lock()
+	if !w.aborted {
+		w.aborted = true
+		w.abortBy = c.rank
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
 // Barrier blocks until every rank arrives, then aligns attached clocks.
+// If the world is aborted — before, during, or after the wait — Barrier
+// panics with Aborted instead of completing.
 func (c *Comm) Barrier() {
 	w := c.w
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.aborted {
+		panic(Aborted{Rank: w.abortBy})
+	}
 	gen := w.gen
 	w.arrived++
 	if w.arrived == w.size {
@@ -122,6 +159,12 @@ func (c *Comm) Barrier() {
 		return
 	}
 	for w.gen == gen {
+		// An advanced gen means the barrier completed before any abort:
+		// return normally even if the flag was set concurrently afterwards,
+		// so a completed collective never retroactively fails.
+		if w.aborted {
+			panic(Aborted{Rank: w.abortBy})
+		}
 		w.cond.Wait()
 	}
 }

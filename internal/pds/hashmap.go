@@ -188,6 +188,27 @@ func (m *HashMap) Delete(key uint64) bool {
 	return false
 }
 
+// Scan implements KV: up to n pairs with key >= start, unordered. An open
+// chaining table has no key order, so the scan is best-effort: it walks the
+// buckets in table order and returns the first n qualifying pairs it meets,
+// in bucket order. Ordered range queries belong on RBMap.
+func (m *HashMap) Scan(start uint64, n int) []Pair {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Pair, 0, n)
+	m.ForEach(func(k, v uint64) bool {
+		if k >= start {
+			out = append(out, Pair{Key: k, Value: v})
+		}
+		return len(out) < n
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 // ForEach visits every pair in unspecified order; fn returning false stops.
 func (m *HashMap) ForEach(fn func(k, v uint64) bool) {
 	nb := int(m.h.ReadU64(m.head + hmNBuckets))

@@ -10,14 +10,29 @@
 // allocator's root array.
 package pds
 
-// KV is the key-value interface the workload driver runs against. The
-// Dalí baseline implements it natively; HashMap and RBMap implement it over
-// any checkpoint backend.
+// Pair is one key-value entry returned by Scan.
+type Pair struct {
+	Key   uint64
+	Value uint64
+}
+
+// KV is the key-value interface the workload driver and the sharded service
+// run against. The Dalí baseline implements it natively; HashMap and RBMap
+// implement it over any checkpoint backend.
 type KV interface {
 	// Put inserts or updates a key.
 	Put(key, value uint64) error
 	// Get returns the value for a key.
 	Get(key uint64) (uint64, bool)
+	// Delete removes a key, reporting whether it was present. Backends
+	// without delete support (Dalí) return false and leave the store
+	// unchanged; see their package documentation.
+	Delete(key uint64) bool
+	// Scan returns up to n pairs with key >= start. Ordered structures
+	// (RBMap) return them in ascending key order; unordered ones (HashMap)
+	// return a best-effort unordered selection. Backends without scan
+	// support (Dalí) return nil.
+	Scan(start uint64, n int) []Pair
 	// Len returns the number of live keys.
 	Len() int
 }

@@ -691,3 +691,94 @@ func TestQuickRBRangeMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestScanOrderedRBMap(t *testing.T) {
+	m, err := NewRBMap(newAlloc(t, 4<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert in scrambled order; Scan must come back sorted.
+	for _, k := range rand.New(rand.NewSource(11)).Perm(200) {
+		if err := m.Put(uint64(k)*10, uint64(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Scan(500, 25)
+	if len(got) != 25 {
+		t.Fatalf("Scan returned %d pairs, want 25", len(got))
+	}
+	for i, p := range got {
+		want := uint64(500 + 10*i)
+		if p.Key != want || p.Value != want/10 {
+			t.Fatalf("Scan[%d] = %+v, want key %d", i, p, want)
+		}
+	}
+	// Scan past the end returns the remaining tail only.
+	if tail := m.Scan(1990, 100); len(tail) != 1 || tail[0].Key != 1990 {
+		t.Fatalf("tail scan = %+v", tail)
+	}
+	if m.Scan(2000, 10) != nil {
+		t.Fatal("scan beyond max key should return nil")
+	}
+	if m.Scan(0, 0) != nil {
+		t.Fatal("scan with n=0 should return nil")
+	}
+}
+
+func TestScanUnorderedHashMap(t *testing.T) {
+	m, err := NewHashMap(newAlloc(t, 4<<20), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		if err := m.Put(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Best-effort contract: every returned pair qualifies (key >= start,
+	// correct value, no duplicates) and a full-size scan returns everything.
+	got := m.Scan(40, 1000)
+	if len(got) != 60 {
+		t.Fatalf("full scan returned %d pairs, want 60", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, p := range got {
+		if p.Key < 40 || p.Value != p.Key+1 || seen[p.Key] {
+			t.Fatalf("bad scan pair %+v", p)
+		}
+		seen[p.Key] = true
+	}
+	if short := m.Scan(0, 7); len(short) != 7 {
+		t.Fatalf("bounded scan returned %d pairs, want 7", len(short))
+	}
+}
+
+func TestDeleteThroughInterface(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			var m KV = f.make(t)
+			for k := uint64(0); k < 300; k++ {
+				if err := m.Put(k, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for k := uint64(0); k < 300; k += 2 {
+				if !m.Delete(k) {
+					t.Fatalf("Delete(%d) = false", k)
+				}
+			}
+			if m.Delete(0) {
+				t.Fatal("double delete reported present")
+			}
+			if m.Len() != 150 {
+				t.Fatalf("Len = %d, want 150", m.Len())
+			}
+			if _, ok := m.Get(2); ok {
+				t.Fatal("deleted key still present")
+			}
+			if _, ok := m.Get(3); !ok {
+				t.Fatal("surviving key lost")
+			}
+		})
+	}
+}

@@ -457,6 +457,23 @@ func (t *RBMap) Range(lo, hi uint64, fn func(k, v uint64) bool) {
 	walk(t.root())
 }
 
+// Scan implements KV: up to n pairs with key >= start in ascending key
+// order, via the in-order walk of Range.
+func (t *RBMap) Scan(start uint64, n int) []Pair {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Pair, 0, n)
+	t.Range(start, ^uint64(0), func(k, v uint64) bool {
+		out = append(out, Pair{Key: k, Value: v})
+		return len(out) < n
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 // ForEach visits pairs in ascending key order; fn returning false stops.
 func (t *RBMap) ForEach(fn func(k, v uint64) bool) {
 	var walk func(n int) bool

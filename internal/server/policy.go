@@ -1,0 +1,89 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// CutStats is the globally reduced state a Policy decides from at each
+// batch boundary. Every rank computes the identical CutStats (the values
+// come out of allreduces over aligned clocks), so every rank reaches the
+// identical decision without further coordination.
+type CutStats struct {
+	// Ops is the global count of acked operations since the last cut.
+	Ops uint64
+	// DirtyBytes is the global count of dirty block bytes pending
+	// checkpoint across all shards.
+	DirtyBytes uint64
+	// Since is the simulated time since the last cut completed.
+	Since time.Duration
+}
+
+// Policy decides when the service ends an epoch with a coordinated cut.
+// Implementations must be pure functions of CutStats.
+type Policy interface {
+	Name() string
+	Cut(s CutStats) bool
+}
+
+// OpsPolicy cuts every Every acked operations (global count).
+type OpsPolicy struct{ Every uint64 }
+
+// Name implements Policy.
+func (p OpsPolicy) Name() string { return fmt.Sprintf("ops:%d", p.Every) }
+
+// Cut implements Policy.
+func (p OpsPolicy) Cut(s CutStats) bool { return s.Ops >= p.Every }
+
+// IntervalPolicy cuts when the simulated time since the last cut reaches
+// Every — the paper's fixed execution period (§5.2.1), applied globally.
+type IntervalPolicy struct{ Every time.Duration }
+
+// Name implements Policy.
+func (p IntervalPolicy) Name() string { return "interval:" + p.Every.String() }
+
+// Cut implements Policy.
+func (p IntervalPolicy) Cut(s CutStats) bool { return s.Since >= p.Every }
+
+// DirtyBytesPolicy cuts when the global dirty footprint reaches Bytes,
+// bounding both checkpoint size and the backup-region pressure per epoch.
+type DirtyBytesPolicy struct{ Bytes uint64 }
+
+// Name implements Policy.
+func (p DirtyBytesPolicy) Name() string { return fmt.Sprintf("dirty:%d", p.Bytes) }
+
+// Cut implements Policy.
+func (p DirtyBytesPolicy) Cut(s CutStats) bool { return s.DirtyBytes >= p.Bytes }
+
+// ParsePolicy resolves the CLI spellings: "ops:N", "interval:DUR"
+// (Go duration syntax), "dirty:N" (bytes).
+func ParsePolicy(spec string) (Policy, error) {
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("server: policy %q wants kind:arg", spec)
+	}
+	switch kind {
+	case "ops":
+		n, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("server: policy %q wants a positive op count", spec)
+		}
+		return OpsPolicy{Every: n}, nil
+	case "interval":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("server: policy %q wants a positive duration", spec)
+		}
+		return IntervalPolicy{Every: d}, nil
+	case "dirty":
+		n, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("server: policy %q wants a positive byte count", spec)
+		}
+		return DirtyBytesPolicy{Bytes: n}, nil
+	default:
+		return nil, fmt.Errorf("server: unknown policy kind %q (ops, interval, dirty)", kind)
+	}
+}

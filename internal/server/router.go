@@ -1,0 +1,49 @@
+// Package server is the sharded recoverable KV service built on the
+// simulated NVM substrate: every shard owns a core.Container (and the
+// pds structure inside it) on its own device, served by one request-loop
+// goroutine that is also an mpi rank; a Router partitions the key space;
+// the Service replays deterministic YCSB client streams against the
+// shards and takes cross-shard consistent cuts with the coordinated
+// checkpoint protocol of §3.6, so recovery after a crash lands every
+// shard on the same globally committed epoch.
+//
+// Determinism contract: the service's observable output — acked-op
+// counts, cut count, simulated times, latency and pause quantiles,
+// violations — is a pure function of its Config. Client streams are
+// pre-generated from sched.SeedFor label hashes, policy decisions are
+// computed from allreduce-aggregated statistics at fixed global batch
+// boundaries, and barriers align the simulated clocks, so no result
+// depends on goroutine scheduling or on any worker-pool width.
+package server
+
+import "fmt"
+
+// Router statelessly maps keys to shards. Scans are routed to the shard
+// owning the start key and read only that shard's partition — a
+// documented limitation; cross-shard merge scans would need a scatter
+// phase the service does not implement.
+type Router struct {
+	n int
+}
+
+// NewRouter builds a router over n shards.
+func NewRouter(shards int) *Router {
+	if shards < 1 {
+		panic(fmt.Sprintf("server: router over %d shards", shards))
+	}
+	return &Router{n: shards}
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return r.n }
+
+// Shard returns the owner of a key. The splitmix64 finalizer spreads
+// adjacent keys uniformly, so sequential key spaces load-balance.
+func (r *Router) Shard(key uint64) int {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	return int(key % uint64(r.n))
+}

@@ -1,0 +1,617 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"libcrpm/internal/core"
+	"libcrpm/internal/mpi"
+	"libcrpm/internal/nvm"
+	"libcrpm/internal/obs"
+	"libcrpm/internal/region"
+	"libcrpm/internal/sched"
+	"libcrpm/internal/workload"
+)
+
+// ErrNoOps mirrors workload.ErrNoOps for the service: a run with no
+// requests has no epochs and no meaningful result.
+var ErrNoOps = errors.New("server: service run needs at least one operation")
+
+// CrashSpec injects a power failure into a run for torture testing.
+type CrashSpec struct {
+	// Shard is the rank whose device crashes.
+	Shard int
+	// At is the 1-based primitive index (counted from device creation, as
+	// in nvm.InjectedCrash.Index) the crash fires on.
+	At int64
+	// Policy resolves each shard's unguaranteed lines at the power
+	// failure (the failure is global: every device crashes). nil uses a
+	// per-shard seeded policy derived from Seed and At.
+	Policy func(shard int) nvm.CrashPolicy
+}
+
+// Config parameterizes a service run.
+type Config struct {
+	// Shards and Clients size the service. Each shard is one rank with
+	// its own device; each client is one deterministic request stream.
+	Shards, Clients int
+	// Mix is the YCSB workload.
+	Mix workload.YCSBMix
+	// Ops is the total request count across all clients.
+	Ops int
+	// Keys is the initially populated key-space size.
+	Keys uint64
+	// DS selects the per-shard structure (default DSHashMap).
+	DS DSKind
+	// Mode is the libcrpm container mode (Default or Buffered).
+	Mode core.Mode
+	// HeapSize is each shard's container heap (default 64 MB).
+	HeapSize int
+	// Buckets sizes the hash map (default 1<<17).
+	Buckets int
+	// BatchOps is the global batch size between policy decisions
+	// (default 2048).
+	BatchOps int
+	// Policy decides cut points (default OpsPolicy{Every: 8192}).
+	Policy Policy
+	// Seed drives every random stream via sched.SeedFor labels.
+	Seed int64
+	// Trace records per-shard spans and histograms into Result.Trace.
+	Trace bool
+	// Parallel bounds the post-run verification fan-out
+	// (0 = GOMAXPROCS). It never affects the result bytes.
+	Parallel int
+	// Liveness additionally verifies after recovery that every shard
+	// still serves: one probe write, a coordinated cut, and a reread.
+	Liveness bool
+	// Crash, if non-nil, injects a power failure and runs recovery.
+	Crash *CrashSpec
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Shards < 1 {
+		return c, fmt.Errorf("server: need at least one shard, have %d", c.Shards)
+	}
+	if c.Clients < 1 {
+		return c, fmt.Errorf("server: need at least one client, have %d", c.Clients)
+	}
+	if c.Ops < 1 {
+		return c, ErrNoOps
+	}
+	if c.Keys < 1 {
+		return c, fmt.Errorf("server: need a populated key space")
+	}
+	if c.DS == "" {
+		c.DS = DSHashMap
+	}
+	if c.HeapSize == 0 {
+		c.HeapSize = 64 << 20
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 1 << 17
+	}
+	if c.BatchOps == 0 {
+		c.BatchOps = 2048
+	}
+	if c.Policy == nil {
+		c.Policy = OpsPolicy{Every: 8192}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Mix.Name == "" {
+		c.Mix = workload.YCSBA
+	}
+	return c, nil
+}
+
+// seqOp is one routed request with its global sequence number (the
+// round-robin interleave position across all client streams).
+type seqOp struct {
+	seq int
+	op  workload.Op
+}
+
+// Service is one configured run: pre-generated, pre-routed client
+// streams plus the shard set the run will build.
+type Service struct {
+	cfg        Config
+	router     *Router
+	reg        region.Config
+	opts       core.Options
+	deviceSize int
+	streams    [][]seqOp
+	batches    int
+	shards     []*shard
+}
+
+// New validates the config and pre-generates every client's request
+// stream: ops are drawn round-robin across clients (client i issues
+// global requests i, i+Clients, ...), each seeded from a sched.SeedFor
+// label, then routed to their shard queues in global order. The streams
+// — and therefore everything downstream — are a pure function of cfg.
+func New(cfg Config) (*Service, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	reg := region.Config{HeapSize: cfg.HeapSize, BackupRatio: 1}
+	l, err := region.NewLayout(reg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:        cfg,
+		router:     NewRouter(cfg.Shards),
+		reg:        reg,
+		opts:       mpi.ContainerOptions(reg, cfg.Mode),
+		deviceSize: l.DeviceSize(),
+		streams:    make([][]seqOp, cfg.Shards),
+		batches:    (cfg.Ops + cfg.BatchOps - 1) / cfg.BatchOps,
+	}
+	gens := make([]*workload.Generator, cfg.Clients)
+	for i := range gens {
+		seed := sched.SeedFor(fmt.Sprintf("serve/%d/client/%d", cfg.Seed, i))
+		gens[i] = workload.NewGenerator(cfg.Mix, cfg.Keys, i, cfg.Clients, seed)
+	}
+	for i := 0; i < cfg.Ops; i++ {
+		op := gens[i%cfg.Clients].Next()
+		sh := s.router.Shard(op.Key)
+		s.streams[sh] = append(s.streams[sh], seqOp{seq: i, op: op})
+	}
+	return s, nil
+}
+
+// ShardStats is one shard's deterministic run summary.
+type ShardStats struct {
+	Shard int
+	// Ops is the count of acked requests (including any acked after the
+	// last cut, which a crash is allowed to lose).
+	Ops  uint64
+	Cuts int
+	// Epoch is the shard's committed epoch at the end of the run (after
+	// recovery, for crashed runs).
+	Epoch uint64
+	// SimPS is the shard's simulated clock at the end of serving.
+	SimPS int64
+	// Latency quantiles over acked requests, picoseconds.
+	P50LatPS, P99LatPS, MaxLatPS int64
+	// Pause statistics over this shard's coordinated cuts (commit plus
+	// barrier wait), picoseconds.
+	PauseMeanPS, P99PausePS, PauseMaxPS int64
+	Crashed                             bool
+	CrashIndex                          int64
+}
+
+// Violation is one consistency failure found by verification.
+type Violation struct {
+	Shard  int
+	Stage  string // "verify", "epoch", "reopen", "recover", "liveness"
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("shard %d: %s: %s", v.Shard, v.Stage, v.Detail)
+}
+
+// Result is a completed run.
+type Result struct {
+	Shards   []ShardStats
+	TotalOps uint64
+	Cuts     int
+	// SimPS is the slowest shard's simulated serving time.
+	SimPS int64
+	// ThroughputOps is acked operations per simulated second.
+	ThroughputOps float64
+	// P99LatPS and MaxPausePS aggregate the worst shard.
+	P99LatPS   int64
+	MaxPausePS int64
+	// Recovery outcome for crashed runs.
+	Recovered      bool
+	RecoveredEpoch uint64
+	CrashedShard   int
+	// Violations is empty iff every consistency check passed.
+	Violations []Violation
+	// Trace holds one track per shard when Config.Trace is set.
+	Trace *obs.Trace
+}
+
+// OK reports whether the run (and recovery, if any) was consistent.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// Run executes the service: populate, serve every batch with policy-led
+// coordinated cuts, then either verify all shards against their live
+// shadows (clean runs) or crash, recover, and verify against the
+// recovered epoch's snapshot.
+func (s *Service) Run() (*Result, error) {
+	s.shards = make([]*shard, s.cfg.Shards)
+	errs := make([]error, s.cfg.Shards)
+	w := mpi.NewWorld(s.cfg.Shards)
+	w.Run(func(c *mpi.Comm) { s.serveRank(c, errs) })
+
+	crashedRank := -1
+	for i, sh := range s.shards {
+		if sh != nil && sh.crashed {
+			crashedRank = i
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+	}
+	if s.cfg.Crash != nil && crashedRank < 0 {
+		return nil, fmt.Errorf("server: injected crash at primitive %d on shard %d never fired (run has fewer primitives)",
+			s.cfg.Crash.At, s.cfg.Crash.Shard)
+	}
+
+	res := &Result{CrashedShard: crashedRank}
+	if crashedRank >= 0 {
+		s.recoverAll(res)
+	} else {
+		// Clean run: every shard's KV must equal its live shadow. The
+		// fan-out parallelism cannot change the result: each cell reads
+		// only its own shard, and reduction is in shard order.
+		vs := sched.Map(len(s.shards), sched.Options{Workers: s.cfg.Parallel}, func(i int) []string {
+			return s.shards[i].verify(s.shards[i].shadow)
+		})
+		for i, bad := range vs {
+			for _, d := range bad {
+				res.Violations = append(res.Violations, Violation{Shard: i, Stage: "verify", Detail: d})
+			}
+		}
+	}
+	s.fillStats(res)
+	if s.cfg.Trace {
+		res.Trace = &obs.Trace{}
+		for _, sh := range s.shards {
+			res.Trace.Add(fmt.Sprintf("serve/shard%d", sh.id), sh.rec)
+		}
+	}
+	return res, nil
+}
+
+// Recorders returns each shard's trace recorder from the last Run, in
+// shard order (nil entries when tracing was off). Sweeps fold them into
+// figure-level traces.
+func (s *Service) Recorders() []*obs.Recorder {
+	recs := make([]*obs.Recorder, len(s.shards))
+	for i, sh := range s.shards {
+		recs[i] = sh.rec
+	}
+	return recs
+}
+
+// PrimitiveSpans reports each shard's serving-phase device primitive
+// range [base, end) from the last completed Run. A torture sweep crashes
+// a reference-identical run at every index inside a span.
+func (s *Service) PrimitiveSpans() [][2]int64 {
+	spans := make([][2]int64, len(s.shards))
+	for i, sh := range s.shards {
+		spans[i] = [2]int64{sh.primBase, sh.primEnd}
+	}
+	return spans
+}
+
+// serveRank is one shard's request loop, run as an mpi rank. Injected
+// crashes are recorded and turned into a world abort so peers parked at
+// coordination barriers unwind; peer aborts unwind silently.
+func (s *Service) serveRank(c *mpi.Comm, errs []error) {
+	rank := c.Rank()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		sh := s.shards[rank]
+		switch p := r.(type) {
+		case nvm.InjectedCrash:
+			sh.crashed, sh.crashIndex, sh.crashKind = true, p.Index, p.Kind
+			if sh.simEndPS == 0 {
+				sh.simEndPS = sh.clock.NowPS()
+			}
+			c.Abort()
+		case mpi.Aborted:
+			if sh != nil && sh.simEndPS == 0 {
+				sh.simEndPS = sh.clock.NowPS()
+			}
+		default:
+			panic(r)
+		}
+	}()
+	sh := newShardShell(rank, s.deviceSize)
+	s.shards[rank] = sh
+	c.AttachClock(sh.clock)
+	if cr := s.cfg.Crash; cr != nil && cr.Shard == rank {
+		sh.dev.FailAfter(cr.At - 1) // primitive count is 0 here
+	}
+	if err := sh.init(s.opts, s.cfg.DS, s.cfg.Buckets, s.cfg.Trace); err != nil {
+		errs[rank] = err
+		c.Abort()
+		return
+	}
+	if err := s.serve(c, sh); err != nil {
+		errs[rank] = err
+		c.Abort()
+	}
+}
+
+// serve runs populate plus the batched request loop. All device work
+// happens between collectives, and every branch below is decided by
+// globally reduced values, so each shard's device state at every barrier
+// is a pure function of the config — which is what makes both the clean
+// results and the crash images deterministic.
+func (s *Service) serve(c *mpi.Comm, sh *shard) error {
+	sh.rec.Begin("populate")
+	for k := uint64(0); k < s.cfg.Keys; k++ {
+		if s.router.Shard(k) != sh.id {
+			continue
+		}
+		if err := sh.kv.Put(k, k); err != nil {
+			return err
+		}
+		sh.shadow[k] = k
+	}
+	sh.rec.End()
+	sh.statsBase = sh.dev.Stats()
+	if err := s.cut(c, sh); err != nil {
+		return err
+	}
+	sh.primBase = sh.dev.PrimitiveCount()
+	my := s.streams[sh.id]
+	idx := 0
+	for b := 0; b < s.batches; b++ {
+		if !sh.inEpoch {
+			sh.rec.Begin("epoch")
+			sh.inEpoch = true
+		}
+		hi := (b + 1) * s.cfg.BatchOps
+		for idx < len(my) && my[idx].seq < hi {
+			if err := sh.apply(my[idx].op); err != nil {
+				return err
+			}
+			idx++
+		}
+		// Policy round: the allreduces also align clocks, so Since is
+		// identical on every rank and the decision is global.
+		ops := c.AllreduceU64(sh.sinceCut, mpi.Sum)
+		dirty := c.AllreduceU64(sh.dirtyBlockBytes(), mpi.Sum)
+		since := time.Duration((sh.clock.NowPS() - sh.cutStartPS) / 1000)
+		if ops > 0 && s.cfg.Policy.Cut(CutStats{Ops: ops, DirtyBytes: dirty, Since: since}) {
+			if err := s.cut(c, sh); err != nil {
+				return err
+			}
+		}
+	}
+	if c.AllreduceU64(sh.sinceCut, mpi.Sum) > 0 {
+		if err := s.cut(c, sh); err != nil {
+			return err
+		}
+	} else {
+		c.Barrier() // align end-of-run clocks
+	}
+	if sh.inEpoch {
+		sh.rec.End()
+		sh.inEpoch = false
+	}
+	sh.simEndPS = sh.clock.NowPS()
+	sh.primEnd = sh.dev.PrimitiveCount()
+	return nil
+}
+
+// cut takes one coordinated consistent cut: snapshot the shadow under
+// the epoch about to commit (before the commit, so the snapshot exists
+// wherever inside the protocol a crash lands), then run the §3.6
+// commit-then-barrier checkpoint.
+func (s *Service) cut(c *mpi.Comm, sh *shard) error {
+	sh.snapshotForNextCut()
+	t0 := sh.clock.NowPS()
+	sh.rec.Begin("ckpt-pause")
+	if err := mpi.Checkpoint(c, sh.ctr); err != nil {
+		return err
+	}
+	sh.rec.End()
+	pause := sh.clock.NowPS() - t0
+	if sh.inEpoch {
+		sh.rec.End() // epoch
+		sh.inEpoch = false
+	}
+	if sh.rec.Enabled() {
+		stats := sh.dev.Stats()
+		sh.rec.RecordEpoch(stats.Sub(sh.statsBase), pause)
+		sh.statsBase = stats
+	}
+	sh.pause.observe(pause)
+	sh.pauseTotalPS += pause
+	if pause > sh.pauseMaxPS {
+		sh.pauseMaxPS = pause
+	}
+	sh.cuts++
+	sh.sinceCut = 0
+	sh.cutStartPS = sh.clock.NowPS()
+	return nil
+}
+
+// crashPolicy resolves one shard's line fates at the global power
+// failure.
+func (s *Service) crashPolicy(shardID int) nvm.CrashPolicy {
+	if cr := s.cfg.Crash; cr.Policy != nil {
+		return cr.Policy(shardID)
+	}
+	seed := sched.SeedFor(fmt.Sprintf("serve/%d/crash/%d/%d", s.cfg.Seed, s.cfg.Crash.At, shardID))
+	return nvm.SeededCrash(rand.New(rand.NewSource(seed)))
+}
+
+// recoverAll models the global power failure and the coordinated
+// restart: every device crashes, every container reopens with recovery
+// deferred, the ranks agree on the minimum committed epoch (rolling
+// back any shard that committed one ahead), and each recovered KV is
+// verified against the shadow snapshot of the landing epoch.
+func (s *Service) recoverAll(res *Result) {
+	for _, sh := range s.shards {
+		sh.dev.CrashWith(s.crashPolicy(sh.id))
+	}
+	n := len(s.shards)
+	ctrs := make([]*core.Container, n)
+	rerrs := make([]error, n)
+	w := mpi.NewWorld(n)
+	w.Run(func(c *mpi.Comm) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(mpi.Aborted); !ok {
+					panic(r)
+				}
+			}
+		}()
+		rank := c.Rank()
+		sh := s.shards[rank]
+		c.AttachClock(sh.clock)
+		ctr, err := core.OpenContainerDeferRecovery(sh.dev, s.opts)
+		if err != nil {
+			rerrs[rank] = fmt.Errorf("reopen: %w", err)
+			c.Abort()
+			return
+		}
+		if err := mpi.Recover(c, ctr); err != nil {
+			rerrs[rank] = fmt.Errorf("recover: %w", err)
+			c.Abort()
+			return
+		}
+		ctrs[rank] = ctr
+	})
+	for i, err := range rerrs {
+		if err != nil {
+			res.Violations = append(res.Violations, Violation{Shard: i, Stage: "recover", Detail: err.Error()})
+		}
+	}
+	if len(res.Violations) > 0 {
+		return
+	}
+	epoch := ctrs[0].CommittedEpoch()
+	for i, ctr := range ctrs {
+		if e := ctr.CommittedEpoch(); e != epoch {
+			res.Violations = append(res.Violations, Violation{
+				Shard: i, Stage: "epoch",
+				Detail: fmt.Sprintf("recovered to epoch %d, shard 0 to %d", e, epoch),
+			})
+		}
+	}
+	if len(res.Violations) > 0 {
+		return
+	}
+	res.Recovered, res.RecoveredEpoch = true, epoch
+	if epoch == 0 {
+		// Crash before the populate cut committed anywhere: nothing was
+		// ever acked across a cut, so there is nothing to verify (the
+		// heap predates the allocator format).
+		return
+	}
+	vs := sched.Map(n, sched.Options{Workers: s.cfg.Parallel}, func(i int) []string {
+		sh := s.shards[i]
+		if err := sh.reattach(ctrs[i], s.cfg.DS); err != nil {
+			return []string{err.Error()}
+		}
+		want, ok := sh.snaps[epoch]
+		if !ok {
+			return []string{fmt.Sprintf("no shadow snapshot for landing epoch %d", epoch)}
+		}
+		return sh.verify(want)
+	})
+	for i, bad := range vs {
+		for _, d := range bad {
+			res.Violations = append(res.Violations, Violation{Shard: i, Stage: "verify", Detail: d})
+		}
+	}
+	if len(res.Violations) == 0 && s.cfg.Liveness {
+		s.liveness(res)
+	}
+}
+
+// liveness proves the recovered service still serves and commits: every
+// shard writes a probe key it owns, the world takes one coordinated cut,
+// and the probe is read back.
+func (s *Service) liveness(res *Result) {
+	n := len(s.shards)
+	lerrs := make([]error, n)
+	w := mpi.NewWorld(n)
+	w.Run(func(c *mpi.Comm) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(mpi.Aborted); !ok {
+					panic(r)
+				}
+			}
+		}()
+		rank := c.Rank()
+		sh := s.shards[rank]
+		c.AttachClock(sh.clock)
+		key := uint64(1) << 62
+		for s.router.Shard(key) != rank {
+			key++
+		}
+		const marker = 0x11FE11FE11FE11FE
+		if err := sh.kv.Put(key, marker); err != nil {
+			lerrs[rank] = fmt.Errorf("probe put: %w", err)
+			c.Abort()
+			return
+		}
+		if err := mpi.Checkpoint(c, sh.ctr); err != nil {
+			lerrs[rank] = fmt.Errorf("probe cut: %w", err)
+			c.Abort()
+			return
+		}
+		if v, ok := sh.kv.Get(key); !ok || v != marker {
+			lerrs[rank] = fmt.Errorf("probe reread: got %d,%v", v, ok)
+			c.Abort()
+		}
+	})
+	for i, err := range lerrs {
+		if err != nil {
+			res.Violations = append(res.Violations, Violation{Shard: i, Stage: "liveness", Detail: err.Error()})
+		}
+	}
+}
+
+// fillStats assembles the deterministic per-shard and aggregate numbers.
+func (s *Service) fillStats(res *Result) {
+	for _, sh := range s.shards {
+		st := ShardStats{
+			Shard:      sh.id,
+			Ops:        sh.acked,
+			Cuts:       sh.cuts,
+			SimPS:      sh.simEndPS,
+			P50LatPS:   sh.lat.quantile(0.50),
+			P99LatPS:   sh.lat.quantile(0.99),
+			MaxLatPS:   sh.lat.max,
+			P99PausePS: sh.pause.quantile(0.99),
+			PauseMaxPS: sh.pauseMaxPS,
+			Crashed:    sh.crashed,
+			CrashIndex: sh.crashIndex,
+		}
+		if sh.ctr != nil {
+			st.Epoch = sh.ctr.CommittedEpoch()
+		}
+		if sh.cuts > 0 {
+			st.PauseMeanPS = sh.pauseTotalPS / int64(sh.cuts)
+		}
+		res.Shards = append(res.Shards, st)
+		res.TotalOps += st.Ops
+		if st.Cuts > res.Cuts {
+			res.Cuts = st.Cuts
+		}
+		if st.SimPS > res.SimPS {
+			res.SimPS = st.SimPS
+		}
+		if st.P99LatPS > res.P99LatPS {
+			res.P99LatPS = st.P99LatPS
+		}
+		if st.PauseMaxPS > res.MaxPausePS {
+			res.MaxPausePS = st.PauseMaxPS
+		}
+	}
+	if res.SimPS > 0 {
+		res.ThroughputOps = float64(res.TotalOps) * 1e12 / float64(res.SimPS)
+	}
+}

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"libcrpm/internal/alloc"
+	"libcrpm/internal/core"
+	"libcrpm/internal/heap"
+	"libcrpm/internal/nvm"
+	"libcrpm/internal/obs"
+	"libcrpm/internal/pds"
+	"libcrpm/internal/workload"
+)
+
+// DSKind selects the persistent structure each shard serves from.
+type DSKind string
+
+// The two structures of §5.2.1, both implementing pds.KV.
+const (
+	DSHashMap DSKind = "unordered_map"
+	DSRBMap   DSKind = "map"
+)
+
+// kvRootSlot is the allocator root slot holding each shard's structure
+// root, written once at shard creation so recovery can reattach.
+const kvRootSlot = 0
+
+// latencyBounds buckets per-request latencies (picoseconds, 1 ns up).
+var latencyBounds = obs.ExpBounds(1_000, 2, 40)
+
+// shard is one partition of the service: a device, a container, the KV
+// inside it, and the volatile bookkeeping of the request loop. A shard is
+// owned by exactly one rank goroutine; nothing here is shared.
+type shard struct {
+	id    int
+	dev   *nvm.Device
+	clock *nvm.Clock
+	ctr   *core.Container
+	alloc *alloc.Allocator
+	kv    pds.KV
+	rec   *obs.Recorder
+
+	// shadow mirrors every acked mutation; snaps holds its copies at the
+	// last two cuts, keyed by the committed epoch each cut produced.
+	// Coordinated recovery can land at most one epoch behind a shard's
+	// latest commit, so two retained cuts always cover the landing epoch.
+	shadow map[uint64]uint64
+	snaps  map[uint64]map[uint64]uint64
+
+	acked    uint64 // ops acked since serving started
+	sinceCut uint64 // ops acked since the last cut
+	cuts     int
+
+	lat                      hist
+	pause                    hist
+	pauseTotalPS, pauseMaxPS int64
+	cutStartPS               int64
+	statsBase                nvm.Stats
+	inEpoch                  bool
+	simEndPS                 int64
+
+	// primBase and primEnd bound the serving phase in device primitive
+	// indices: crash points in [primBase, primEnd) hit live request
+	// traffic or a cut, never setup.
+	primBase, primEnd int64
+
+	crashed    bool
+	crashIndex int64
+	crashKind  nvm.OpKind
+}
+
+// newShardShell builds the volatile half of a shard — device, clock,
+// bookkeeping — so the request loop can arm crash injection on the device
+// before any container primitive runs. init builds the persistent half.
+func newShardShell(id, deviceSize int) *shard {
+	dev := nvm.NewDevice(deviceSize)
+	return &shard{
+		id:     id,
+		dev:    dev,
+		clock:  dev.Clock(),
+		shadow: make(map[uint64]uint64),
+		snaps:  make(map[uint64]map[uint64]uint64),
+		lat:    newHist(latencyBounds),
+		pause:  newHist(obs.PauseBounds),
+	}
+}
+
+// init formats the shard's container, allocator, and KV, persisting the
+// KV root in the root array so recovery can reattach.
+func (sh *shard) init(opts core.Options, ds DSKind, buckets int, trace bool) error {
+	ctr, err := core.NewContainer(sh.dev, opts)
+	if err != nil {
+		return fmt.Errorf("server: shard %d container: %w", sh.id, err)
+	}
+	a, err := alloc.Format(heap.New(ctr))
+	if err != nil {
+		return fmt.Errorf("server: shard %d allocator: %w", sh.id, err)
+	}
+	var kv pds.KV
+	var root int
+	switch ds {
+	case DSHashMap:
+		m, err := pds.NewHashMap(a, buckets)
+		if err != nil {
+			return err
+		}
+		kv, root = m, m.Root()
+	case DSRBMap:
+		m, err := pds.NewRBMap(a)
+		if err != nil {
+			return err
+		}
+		kv, root = m, m.Root()
+	default:
+		return fmt.Errorf("server: unknown structure %q", ds)
+	}
+	a.SetRoot(kvRootSlot, uint64(root))
+	sh.ctr, sh.alloc, sh.kv = ctr, a, kv
+	if trace {
+		sh.rec = obs.NewRecorder(sh.clock)
+		ctr.SetTrace(sh.rec)
+	}
+	return nil
+}
+
+// reattach reopens the shard's container from its (crashed, recovered)
+// device state and rebinds the allocator and KV from the persisted root.
+// The container itself must already have been recovered (coordinated
+// protocol); reattach only rebuilds the volatile handles.
+func (sh *shard) reattach(ctr *core.Container, ds DSKind) error {
+	sh.ctr = ctr
+	a, err := alloc.Open(heap.New(ctr))
+	if err != nil {
+		return fmt.Errorf("server: shard %d allocator reopen: %w", sh.id, err)
+	}
+	sh.alloc = a
+	root := int(a.Root(kvRootSlot))
+	switch ds {
+	case DSHashMap:
+		sh.kv, err = pds.OpenHashMap(a, root)
+	case DSRBMap:
+		sh.kv, err = pds.OpenRBMap(a, root)
+	default:
+		err = fmt.Errorf("unknown structure %q", ds)
+	}
+	if err != nil {
+		return fmt.Errorf("server: shard %d KV reopen: %w", sh.id, err)
+	}
+	return nil
+}
+
+// apply executes one acked request against the KV and mirrors its effect
+// into the volatile shadow. Latency is the simulated time the request
+// consumed on this shard.
+func (sh *shard) apply(op workload.Op) error {
+	t0 := sh.clock.NowPS()
+	switch op.Kind {
+	case workload.OpRead:
+		sh.kv.Get(op.Key)
+	case workload.OpUpdate, workload.OpInsert:
+		if err := sh.kv.Put(op.Key, op.Value); err != nil {
+			return err
+		}
+		sh.shadow[op.Key] = op.Value
+	case workload.OpScan:
+		sh.kv.Scan(op.Key, op.ScanLen)
+	case workload.OpRMW:
+		old, _ := sh.kv.Get(op.Key)
+		v := old + op.Value
+		if err := sh.kv.Put(op.Key, v); err != nil {
+			return err
+		}
+		sh.shadow[op.Key] = v
+	case workload.OpDelete:
+		sh.kv.Delete(op.Key)
+		delete(sh.shadow, op.Key)
+	default:
+		return fmt.Errorf("server: shard %d: unknown op kind %v", sh.id, op.Kind)
+	}
+	lat := sh.clock.NowPS() - t0
+	sh.lat.observe(lat)
+	sh.rec.Observe("req-latency", latencyBounds, lat)
+	sh.acked++
+	sh.sinceCut++
+	return nil
+}
+
+// snapshotForNextCut copies the shadow under the epoch the in-flight cut
+// will commit. Taken BEFORE the commit starts, so the snapshot exists no
+// matter where inside the commit a crash lands; older cuts beyond the
+// two-epoch recovery window are pruned.
+func (sh *shard) snapshotForNextCut() {
+	next := sh.ctr.CommittedEpoch() + 1
+	cp := make(map[uint64]uint64, len(sh.shadow))
+	for k, v := range sh.shadow {
+		cp[k] = v
+	}
+	sh.snaps[next] = cp
+	if next >= 2 {
+		delete(sh.snaps, next-2)
+	}
+}
+
+// dirtyBlockBytes estimates the shard's pending checkpoint footprint.
+func (sh *shard) dirtyBlockBytes() uint64 {
+	_, blocks := sh.ctr.DirtyInfo()
+	return uint64(blocks) * uint64(sh.ctr.Layout().BlkSize)
+}
+
+// verify compares the KV's full contents against an expected image,
+// returning deterministic violation details (keys reported in sorted
+// order, capped) — empty means the images match exactly.
+func (sh *shard) verify(want map[uint64]uint64) []string {
+	n := sh.kv.Len()
+	var dump []pds.Pair
+	if n > 0 {
+		dump = sh.kv.Scan(0, n)
+	}
+	var bad []string
+	got := make(map[uint64]uint64, len(dump))
+	for _, p := range dump {
+		got[p.Key] = p.Value
+	}
+	if len(got) != n {
+		bad = append(bad, fmt.Sprintf("scan returned %d keys, Len reports %d", len(got), n))
+	}
+	var missing, wrong, extra []uint64
+	for k, v := range want {
+		g, ok := got[k]
+		switch {
+		case !ok:
+			missing = append(missing, k)
+		case g != v:
+			wrong = append(wrong, k)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			extra = append(extra, k)
+		}
+	}
+	report := func(kind string, keys []uint64) {
+		if len(keys) == 0 {
+			return
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		k := keys[0]
+		detail := fmt.Sprintf("%d %s keys (first: %d", len(keys), kind, k)
+		switch kind {
+		case "missing":
+			detail += fmt.Sprintf(", want %d)", want[k])
+		case "wrong":
+			detail += fmt.Sprintf(", got %d want %d)", got[k], want[k])
+		default:
+			detail += fmt.Sprintf(", got %d)", got[k])
+		}
+		bad = append(bad, detail)
+	}
+	report("missing", missing)
+	report("wrong", wrong)
+	report("extra", extra)
+	return bad
+}
+
+// hist is a fixed-bound exponential histogram with exact count/max, used
+// for deterministic latency and pause quantiles.
+type hist struct {
+	bounds []int64
+	counts []int64
+	n      int64
+	max    int64
+}
+
+func newHist(bounds []int64) hist {
+	return hist{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *hist) observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// quantile observation (the exact max for the overflow bucket and for
+// q=1). Zero observations yield zero.
+func (h *hist) quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.n))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= h.n {
+		return h.max
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i == len(h.bounds) {
+				return h.max
+			}
+			return h.bounds[i]
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,181 @@
+package torture
+
+import (
+	"fmt"
+
+	"libcrpm/internal/nvm"
+	"libcrpm/internal/sched"
+	"libcrpm/internal/server"
+)
+
+// ServiceConfig parameterizes the sharded-service crash sweep: a
+// reference run of the full service measures each shard's serving-phase
+// primitive span, then the identical run is replayed once per (crashed
+// shard, policy, crash point), recovered with the coordinated protocol,
+// and verified — every op acked before the landing epoch's cut must be
+// present on every shard, and all shards must land on one global epoch.
+type ServiceConfig struct {
+	// Server is the service under torture. Crash must be nil (the sweep
+	// owns injection); Liveness is forced on for replays.
+	Server server.Config
+	// CrashShards lists the shards to inject into (nil = every shard).
+	CrashShards []int
+	// Stride tests every Stride-th crash point of a span (default: sized
+	// so each (shard, policy) combo replays about 64 points).
+	Stride int
+	// Policies select the crash-image schedules (nil = the standard
+	// three, seeded from Server.Seed).
+	Policies []Policy
+	// Parallel bounds concurrent replays (0 = GOMAXPROCS). Each replay
+	// owns its own service world, so the violation report is
+	// byte-identical at any setting.
+	Parallel int
+	// Progress, if non-nil, is called after each (shard, policy) combo.
+	Progress func(shard int, policy string, points, violations int)
+}
+
+// ServiceViolation is one consistency failure of the service sweep.
+type ServiceViolation struct {
+	// CrashShard and Policy identify the injection; Index is the device
+	// primitive the crash fired on (replayable via server.CrashSpec).
+	CrashShard int
+	Policy     string
+	Index      int64
+	// Shard, Stage, Detail locate the failure (Shard -1 for run-level
+	// failures).
+	Shard  int
+	Stage  string
+	Detail string
+}
+
+func (v ServiceViolation) String() string {
+	return fmt.Sprintf("[shard %d/%s] crash at primitive %d: shard %d: %s: %s",
+		v.CrashShard, v.Policy, v.Index, v.Shard, v.Stage, v.Detail)
+}
+
+// ServiceResult summarizes a service sweep.
+type ServiceResult struct {
+	// Points counts crash points tested per "shard<i>/<policy>" combo.
+	Points map[string]int
+	// Replays counts every crash-replay-recover service run.
+	Replays int
+	// Violations is empty iff the sweep passed.
+	Violations []ServiceViolation
+}
+
+// OK reports whether the sweep found no violations.
+func (r ServiceResult) OK() bool { return len(r.Violations) == 0 }
+
+// ServiceSweep runs the matrix. The reference run must itself be
+// violation-free; its per-shard serving spans define the crash points.
+func ServiceSweep(cfg ServiceConfig) (ServiceResult, error) {
+	res := ServiceResult{Points: make(map[string]int)}
+	if cfg.Server.Crash != nil {
+		return res, fmt.Errorf("torture: ServiceConfig.Server.Crash must be nil")
+	}
+	base := cfg.Server
+	base.Liveness = true
+	ref, err := server.New(base)
+	if err != nil {
+		return res, fmt.Errorf("torture: service reference: %w", err)
+	}
+	refRes, err := ref.Run()
+	if err != nil {
+		return res, fmt.Errorf("torture: service reference run: %w", err)
+	}
+	if !refRes.OK() {
+		return res, fmt.Errorf("torture: service reference run inconsistent: %v", refRes.Violations[0])
+	}
+	spans := ref.PrimitiveSpans()
+
+	shards := cfg.CrashShards
+	if shards == nil {
+		for i := 0; i < base.Shards; i++ {
+			shards = append(shards, i)
+		}
+	}
+	policies := cfg.Policies
+	if policies == nil {
+		policies = StandardPolicies(base.Seed)
+	}
+
+	for _, sh := range shards {
+		if sh < 0 || sh >= base.Shards {
+			return res, fmt.Errorf("torture: crash shard %d out of range", sh)
+		}
+		lo, hi := spans[sh][0], spans[sh][1]
+		stride := cfg.Stride
+		if stride <= 0 {
+			stride = int((hi - lo) / 64)
+			if stride < 1 {
+				stride = 1
+			}
+		}
+		var ks []int64
+		for k := lo + 1; k < hi; k += int64(stride) {
+			ks = append(ks, k)
+		}
+		for _, pol := range policies {
+			vs := sched.Map(len(ks), sched.Options{Workers: cfg.Parallel}, func(i int) []ServiceViolation {
+				return serviceReplay(base, sh, pol, ks[i])
+			})
+			res.Replays += len(ks)
+			key := fmt.Sprintf("shard%d/%s", sh, pol.Name)
+			res.Points[key] = len(ks)
+			bad := 0
+			for _, cell := range vs {
+				bad += len(cell)
+				res.Violations = append(res.Violations, cell...)
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(sh, pol.Name, len(ks), bad)
+			}
+		}
+	}
+	return res, nil
+}
+
+// serviceReplay runs one crash-replay-recover cycle with panic
+// containment: a protocol panic becomes a violation row for this crash
+// point instead of killing the sweep.
+func serviceReplay(base server.Config, crashShard int, pol Policy, at int64) (out []ServiceViolation) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = append(out, ServiceViolation{
+				CrashShard: crashShard, Policy: pol.Name, Index: at,
+				Shard: -1, Stage: "panic", Detail: fmt.Sprint(r),
+			})
+		}
+	}()
+	cfg := base
+	cfg.Crash = &server.CrashSpec{
+		Shard: crashShard,
+		At:    at,
+		// Every shard's crash image comes from the policy, phase-shifted
+		// per shard so neighbouring shards get different line fates.
+		Policy: func(shard int) nvm.CrashPolicy {
+			return pol.New(at ^ int64(shard+1)*0x9e3779b97f4a7c)
+		},
+	}
+	svc, err := server.New(cfg)
+	if err != nil {
+		return []ServiceViolation{{CrashShard: crashShard, Policy: pol.Name, Index: at, Shard: -1, Stage: "config", Detail: err.Error()}}
+	}
+	res, err := svc.Run()
+	if err != nil {
+		return []ServiceViolation{{CrashShard: crashShard, Policy: pol.Name, Index: at, Shard: -1, Stage: "run", Detail: err.Error()}}
+	}
+	if !res.Recovered && res.OK() {
+		out = append(out, ServiceViolation{
+			CrashShard: crashShard, Policy: pol.Name, Index: at,
+			Shard: -1, Stage: "recover", Detail: "run reported no recovery and no violations",
+		})
+	}
+	for _, v := range res.Violations {
+		out = append(out, ServiceViolation{
+			CrashShard: crashShard, Policy: pol.Name, Index: at,
+			Shard: v.Shard, Stage: v.Stage, Detail: v.Detail,
+		})
+	}
+	return out
+}

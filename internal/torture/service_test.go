@@ -1,0 +1,86 @@
+package torture
+
+import (
+	"testing"
+
+	"libcrpm/internal/server"
+	"libcrpm/internal/workload"
+)
+
+func serviceBase() server.Config {
+	return server.Config{
+		Shards:   3,
+		Clients:  4,
+		Mix:      workload.YCSBCrud, // exercises the full KV surface
+		Ops:      500,
+		Keys:     150,
+		HeapSize: 1 << 20,
+		Buckets:  1 << 9,
+		BatchOps: 128,
+		Policy:   server.OpsPolicy{Every: 160},
+		Seed:     7,
+	}
+}
+
+// TestServiceSweep is the acceptance sweep for the sharded service:
+// crashes across the serving phase of multiple shards, under seeded and
+// adversarial crash schedules, must always recover every shard to one
+// global epoch with every pre-cut acked op intact — and the recovered
+// service must keep serving.
+func TestServiceSweep(t *testing.T) {
+	cfg := ServiceConfig{
+		Server:      serviceBase(),
+		CrashShards: []int{0, 2},
+		Policies:    append(StandardPolicies(7), AdversarialPolicy()),
+	}
+	res, err := ServiceSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replays == 0 {
+		t.Fatal("sweep ran no replays")
+	}
+	for combo, pts := range res.Points {
+		if pts < 8 {
+			t.Fatalf("combo %s tested only %d points", combo, pts)
+		}
+	}
+	if !res.OK() {
+		t.Fatalf("%d violations (of %d replays), first: %v", len(res.Violations), res.Replays, res.Violations[0])
+	}
+}
+
+// TestServiceSweepDeterministicReport: the violation report (here: the
+// pass/fail counters) is identical at any replay parallelism.
+func TestServiceSweepDeterministicReport(t *testing.T) {
+	base := ServiceConfig{
+		Server:      serviceBase(),
+		CrashShards: []int{1},
+		Stride:      977, // a handful of points; this test is about report identity
+	}
+	serial, par := base, base
+	serial.Parallel = 1
+	par.Parallel = 8
+	a, err := ServiceSweep(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ServiceSweep(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Replays != b.Replays || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("serial (%d replays, %d violations) != parallel (%d, %d)",
+			a.Replays, len(a.Violations), b.Replays, len(b.Violations))
+	}
+	for i := range a.Violations {
+		if a.Violations[i] != b.Violations[i] {
+			t.Fatalf("violation %d differs: %v vs %v", i, a.Violations[i], b.Violations[i])
+		}
+	}
+	for k, v := range a.Points {
+		if b.Points[k] != v {
+			t.Fatalf("points %s: %d vs %d", k, v, b.Points[k])
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,6 +16,11 @@ import (
 	"libcrpm/internal/obs"
 	"libcrpm/internal/pds"
 )
+
+// ErrNoOps is returned by Driver.Run when asked to execute zero (or
+// negative) operations: an empty run has no epochs and no meaningful
+// Result, and silently returning zeros has hidden mis-sized sweeps before.
+var ErrNoOps = errors.New("workload: run needs at least one operation")
 
 // Zipfian generates keys in [0, n) with a Zipfian popularity distribution
 // (YCSB's algorithm, Gray et al.), scrambled so popular keys spread across
@@ -52,6 +58,13 @@ func zeta(n uint64, theta float64) float64 {
 
 // Next draws the next key.
 func (z *Zipfian) Next(rng *rand.Rand) uint64 {
+	return scramble(z.NextRank(rng)) % z.n
+}
+
+// NextRank draws the next popularity rank in [0, n): 0 is the most popular
+// item, without the scrambling Next applies. The latest distribution uses
+// ranks directly (rank 0 maps to the newest key).
+func (z *Zipfian) NextRank(rng *rand.Rand) uint64 {
 	u := rng.Float64()
 	uz := u * z.zetan
 	var rank uint64
@@ -66,7 +79,7 @@ func (z *Zipfian) Next(rng *rand.Rand) uint64 {
 	if rank >= z.n {
 		rank = z.n - 1
 	}
-	return scramble(rank) % z.n
+	return rank
 }
 
 // scramble is the FNV-1a-style hash YCSB uses to spread ranks.
@@ -159,6 +172,9 @@ func (d *Driver) Populate(n uint64) error {
 func (d *Driver) Run(mix Mix, ops int) (Result, error) {
 	if d.Rng == nil {
 		return Result{}, fmt.Errorf("workload: driver needs an Rng")
+	}
+	if ops <= 0 {
+		return Result{}, ErrNoOps
 	}
 	start := d.Clock.Now()
 	epochStart := start

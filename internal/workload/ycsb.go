@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// OpKind classifies one service request.
+type OpKind uint8
+
+// The request kinds of the YCSB core workloads (plus Delete, which core
+// YCSB omits but a production KV service must handle).
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpRMW
+	OpDelete
+)
+
+// String names the kind as in YCSB output.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpScan:
+		return "scan"
+	case OpRMW:
+		return "rmw"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one generated request, tagged with the client that issued it and
+// its per-client sequence number so service logs are replayable.
+type Op struct {
+	Client int
+	Seq    int
+	Kind   OpKind
+	Key    uint64
+	Value  uint64
+	// ScanLen is the record count of a scan request.
+	ScanLen int
+}
+
+// Dist selects the key popularity distribution of a YCSB mix.
+type Dist uint8
+
+// The request distributions of the YCSB core package.
+const (
+	DistZipfian Dist = iota
+	DistUniform
+	DistLatest
+)
+
+// String names the distribution.
+func (d Dist) String() string {
+	switch d {
+	case DistZipfian:
+		return "zipfian"
+	case DistUniform:
+		return "uniform"
+	case DistLatest:
+		return "latest"
+	default:
+		return fmt.Sprintf("Dist(%d)", uint8(d))
+	}
+}
+
+// YCSBMix is one YCSB core workload: operation proportions (summing to 1)
+// plus the key distribution, mirroring the workloads/workload[a-f] property
+// files of the reference YCSB distribution.
+type YCSBMix struct {
+	Name string
+	// Proportions of each operation kind.
+	Read, Update, Insert, Scan, RMW, Delete float64
+	// Dist chooses keys for read/update/scan/rmw/delete requests.
+	Dist Dist
+	// MaxScanLen bounds scan lengths (uniform in [1, MaxScanLen]).
+	MaxScanLen int
+}
+
+// The six YCSB core mixes. E's scans are ordered on RBMap and best-effort
+// unordered on HashMap (see pds.KV.Scan).
+var (
+	YCSBA = YCSBMix{Name: "A", Read: 0.5, Update: 0.5, Dist: DistZipfian}
+	YCSBB = YCSBMix{Name: "B", Read: 0.95, Update: 0.05, Dist: DistZipfian}
+	YCSBC = YCSBMix{Name: "C", Read: 1.0, Dist: DistZipfian}
+	YCSBD = YCSBMix{Name: "D", Read: 0.95, Insert: 0.05, Dist: DistLatest}
+	YCSBE = YCSBMix{Name: "E", Scan: 0.95, Insert: 0.05, Dist: DistZipfian, MaxScanLen: 100}
+	YCSBF = YCSBMix{Name: "F", Read: 0.5, RMW: 0.5, Dist: DistZipfian}
+	// YCSBCrud is a non-standard delete-heavy mix exercising the full
+	// pds.KV surface (core YCSB never deletes).
+	YCSBCrud = YCSBMix{Name: "crud", Read: 0.4, Update: 0.2, Insert: 0.2, Delete: 0.2, Dist: DistZipfian}
+)
+
+// YCSBMixes lists the six core mixes in order.
+func YCSBMixes() []YCSBMix {
+	return []YCSBMix{YCSBA, YCSBB, YCSBC, YCSBD, YCSBE, YCSBF}
+}
+
+// YCSBByName resolves "a".."f" (case-insensitive) or "crud".
+func YCSBByName(name string) (YCSBMix, error) {
+	n := strings.ToLower(name)
+	for _, m := range append(YCSBMixes(), YCSBCrud) {
+		if strings.ToLower(m.Name) == n {
+			return m, nil
+		}
+	}
+	return YCSBMix{}, fmt.Errorf("workload: unknown YCSB mix %q (a-f or crud)", name)
+}
+
+// Generator produces one client's deterministic request stream for a YCSB
+// mix. Every client owns its rng (seed the caller derives from the client's
+// identity, e.g. sched.SeedFor), so the stream is a pure function of
+// (mix, keys, client, clients, seed) — independent of scheduling, worker
+// count, and the other clients.
+//
+// Insert keys are client-strided: client c's i-th insert creates key
+// keys + c + clients*i, so concurrent clients never collide and the union
+// of all streams covers a dense key range. The latest distribution tracks
+// the generator's own high-water key (approximating the global insertion
+// frontier without cross-client coordination, which would make streams
+// scheduling-dependent).
+type Generator struct {
+	mix     YCSBMix
+	rng     *rand.Rand
+	zipf    *Zipfian
+	keys    uint64
+	client  int
+	clients int
+	// inserted counts this client's inserts so far.
+	inserted uint64
+	seq      int
+}
+
+// NewGenerator builds client client-of-clients' stream over an initially
+// populated key space of keys records.
+func NewGenerator(mix YCSBMix, keys uint64, client, clients int, seed int64) *Generator {
+	if clients <= 0 || client < 0 || client >= clients {
+		panic(fmt.Sprintf("workload: client %d of %d", client, clients))
+	}
+	if keys == 0 {
+		panic("workload: YCSB generator needs a populated key space")
+	}
+	g := &Generator{
+		mix:     mix,
+		rng:     rand.New(rand.NewSource(seed)),
+		keys:    keys,
+		client:  client,
+		clients: clients,
+	}
+	if mix.Dist == DistZipfian || mix.Dist == DistLatest {
+		g.zipf = NewZipfian(keys, 0.99)
+	}
+	return g
+}
+
+// Next draws the client's next request.
+func (g *Generator) Next() Op {
+	op := Op{Client: g.client, Seq: g.seq}
+	g.seq++
+	u := g.rng.Float64()
+	m := &g.mix
+	switch {
+	case u < m.Read:
+		op.Kind, op.Key = OpRead, g.chooseKey()
+	case u < m.Read+m.Update:
+		op.Kind, op.Key, op.Value = OpUpdate, g.chooseKey(), g.rng.Uint64()
+	case u < m.Read+m.Update+m.Insert:
+		op.Kind = OpInsert
+		op.Key = g.keys + uint64(g.client) + uint64(g.clients)*g.inserted
+		op.Value = g.rng.Uint64()
+		g.inserted++
+	case u < m.Read+m.Update+m.Insert+m.Scan:
+		op.Kind, op.Key = OpScan, g.chooseKey()
+		op.ScanLen = 1 + g.rng.Intn(g.mix.MaxScanLen)
+	case u < m.Read+m.Update+m.Insert+m.Scan+m.RMW:
+		op.Kind, op.Key, op.Value = OpRMW, g.chooseKey(), g.rng.Uint64()
+	default:
+		op.Kind, op.Key = OpDelete, g.chooseKey()
+	}
+	return op
+}
+
+// chooseKey draws a key from the mix's distribution over the keys this
+// client knows to exist (the initial space plus its strided inserts).
+func (g *Generator) chooseKey() uint64 {
+	switch g.mix.Dist {
+	case DistUniform:
+		return g.rng.Uint64() % g.high()
+	case DistLatest:
+		// YCSB's skewed-latest: most popular = the newest key.
+		high := g.high()
+		r := g.zipf.NextRank(g.rng) % high
+		return high - 1 - r
+	default:
+		return g.zipf.Next(g.rng)
+	}
+}
+
+// high returns the size of the key range this client may address: the
+// initial space plus everything its own inserts have extended it by.
+func (g *Generator) high() uint64 {
+	return g.keys + uint64(g.clients)*g.inserted
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"libcrpm/internal/nvm"
+	"libcrpm/internal/pds"
+)
+
+// TestZipfianBounds is the satellite property test: Next and NextRank stay
+// inside [0, n) for every theta the suite uses, before and after
+// scrambling, across a spread of key-space sizes.
+func TestZipfianBounds(t *testing.T) {
+	for _, theta := range []float64{0.5, 0.99} {
+		for _, n := range []uint64{1, 2, 3, 10, 1000, 99_991} {
+			z := NewZipfian(n, theta)
+			rng := rand.New(rand.NewSource(int64(n) ^ int64(theta*1000)))
+			for i := 0; i < 20_000; i++ {
+				if r := z.NextRank(rng); r >= n {
+					t.Fatalf("theta=%v n=%d: NextRank = %d", theta, n, r)
+				}
+				if k := z.Next(rng); k >= n {
+					t.Fatalf("theta=%v n=%d: Next = %d (post-scramble)", theta, n, k)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfianSkew sanity-checks that low ranks really are more popular.
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(1000, 0.99)
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 1000)
+	for i := 0; i < 100_000; i++ {
+		counts[z.NextRank(rng)]++
+	}
+	if counts[0] < 10*counts[500] {
+		t.Fatalf("rank 0 drawn %d times vs rank 500 %d times; not skewed", counts[0], counts[500])
+	}
+}
+
+func TestDriverRunZeroOpsTypedError(t *testing.T) {
+	d := &Driver{Rng: rand.New(rand.NewSource(1)), Clock: nvm.NewClock()}
+	for _, ops := range []int{0, -3} {
+		if _, err := d.Run(Balanced, ops); !errors.Is(err, ErrNoOps) {
+			t.Fatalf("Run(ops=%d) error = %v, want ErrNoOps", ops, err)
+		}
+	}
+}
+
+func TestYCSBProportionsSumToOne(t *testing.T) {
+	for _, m := range append(YCSBMixes(), YCSBCrud) {
+		sum := m.Read + m.Update + m.Insert + m.Scan + m.RMW + m.Delete
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("mix %s proportions sum to %v", m.Name, sum)
+		}
+	}
+}
+
+func TestYCSBByName(t *testing.T) {
+	for _, name := range []string{"a", "B", "c", "d", "e", "f", "crud"} {
+		if _, err := YCSBByName(name); err != nil {
+			t.Fatalf("YCSBByName(%q): %v", name, err)
+		}
+	}
+	if _, err := YCSBByName("z"); err == nil {
+		t.Fatal("YCSBByName(z) should fail")
+	}
+}
+
+// TestGeneratorDeterministic: a client's stream is a pure function of its
+// identity and seed — regenerating it yields identical ops.
+func TestGeneratorDeterministic(t *testing.T) {
+	for _, mix := range append(YCSBMixes(), YCSBCrud) {
+		a := NewGenerator(mix, 1000, 2, 8, 42)
+		b := NewGenerator(mix, 1000, 2, 8, 42)
+		for i := 0; i < 5000; i++ {
+			x, y := a.Next(), b.Next()
+			if !reflect.DeepEqual(x, y) {
+				t.Fatalf("mix %s op %d: %+v != %+v", mix.Name, i, x, y)
+			}
+		}
+	}
+}
+
+// TestGeneratorContract checks the stream invariants every mix must hold:
+// keys in range, inserts strided per client (no cross-client collisions),
+// scan lengths bounded, proportions roughly honored.
+func TestGeneratorContract(t *testing.T) {
+	const keys, clients, opsPer = 500, 4, 20_000
+	for _, mix := range append(YCSBMixes(), YCSBCrud) {
+		t.Run(mix.Name, func(t *testing.T) {
+			insertKeys := map[uint64]int{}
+			counts := map[OpKind]int{}
+			for c := 0; c < clients; c++ {
+				g := NewGenerator(mix, keys, c, clients, int64(100+c))
+				for i := 0; i < opsPer; i++ {
+					op := g.Next()
+					if op.Client != c || op.Seq != i {
+						t.Fatalf("op tagged %d/%d, want %d/%d", op.Client, op.Seq, c, i)
+					}
+					counts[op.Kind]++
+					switch op.Kind {
+					case OpInsert:
+						if op.Key < keys {
+							t.Fatalf("insert key %d inside the initial space", op.Key)
+						}
+						if prev, dup := insertKeys[op.Key]; dup {
+							t.Fatalf("insert key %d from clients %d and %d", op.Key, prev, c)
+						}
+						insertKeys[op.Key] = c
+					case OpScan:
+						if op.ScanLen < 1 || op.ScanLen > mix.MaxScanLen {
+							t.Fatalf("scan length %d outside [1,%d]", op.ScanLen, mix.MaxScanLen)
+						}
+					default:
+						if op.Key >= keys+uint64(clients)*uint64(opsPer) {
+							t.Fatalf("key %d beyond any inserted frontier", op.Key)
+						}
+					}
+				}
+			}
+			total := float64(clients * opsPer)
+			for kind, frac := range map[OpKind]float64{
+				OpRead: mix.Read, OpUpdate: mix.Update, OpInsert: mix.Insert,
+				OpScan: mix.Scan, OpRMW: mix.RMW, OpDelete: mix.Delete,
+			} {
+				got := float64(counts[kind]) / total
+				if got < frac-0.02 || got > frac+0.02 {
+					t.Fatalf("mix %s: %v proportion %.3f, want %.2f", mix.Name, kind, got, frac)
+				}
+			}
+		})
+	}
+}
+
+// TestLatestDistFavorsNewKeys: under workload D the newest keys must be the
+// most popular read targets.
+func TestLatestDistFavorsNewKeys(t *testing.T) {
+	const keys = 1000
+	g := NewGenerator(YCSBD, keys, 0, 1, 9)
+	newest, oldest := 0, 0
+	for i := 0; i < 50_000; i++ {
+		op := g.Next()
+		if op.Kind != OpRead {
+			continue
+		}
+		high := keys + g.inserted
+		switch {
+		case op.Key >= high-high/10:
+			newest++
+		case op.Key < high/10:
+			oldest++
+		}
+	}
+	if newest < 5*oldest {
+		t.Fatalf("newest decile drawn %d times vs oldest %d; latest dist not skewed", newest, oldest)
+	}
+}
+
+// The interface the generator's ops will be applied against must accept
+// every kind the mixes can produce; this pins the Op/pds.KV pairing the
+// service relies on.
+func TestOpKindsCoverKVInterface(t *testing.T) {
+	var _ pds.KV = (*pds.HashMap)(nil)
+	kinds := []OpKind{OpRead, OpUpdate, OpInsert, OpScan, OpRMW, OpDelete}
+	for i, k := range kinds {
+		if k.String() == "" || int(k) != i {
+			t.Fatalf("kind %d misnumbered", i)
+		}
+	}
+}
