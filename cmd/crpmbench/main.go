@@ -71,7 +71,7 @@ func experiments() []experiment {
 		{"fig10b", "throughput vs block size (Figure 10b)", one(harness.Fig10bBlock)},
 		{"table1a", "average checkpoint size per operation (Table 1a)", one(harness.Table1a)},
 		{"table1b", "sfence instructions per epoch (Table 1b)", one(harness.Table1b)},
-		{"service", "sharded KV service throughput and cut pause vs shard count (extension)", one(harness.ServiceFigure)},
+		{"service", "sharded KV service throughput and cut pause vs shard count, stop-the-world and incremental pause-budget cuts (extension)", one(harness.ServiceFigure)},
 		{"recovery", "LULESH recovery time (§5.5)", one(harness.RecoveryTime)},
 		{"pauses", "checkpoint pause-time distribution (extension)", one(harness.PauseTimes)},
 		{"storage", "storage cost of LULESH (§5.6)", one(harness.StorageCost)},

@@ -42,10 +42,11 @@ func run() int {
 	keys := flag.Uint64("keys", 100_000, "initially populated key-space size")
 	backend := flag.String("backend", "default", "libcrpm container mode: default | buffered")
 	ds := flag.String("ds", "hashmap", "per-shard structure: hashmap | rbmap")
-	policySpec := flag.String("policy", "ops:16384", "cut policy: ops:N | interval:DUR | dirty:BYTES")
+	policySpec := flag.String("policy", "ops:16384", "cut policy: ops:N | interval:DUR | dirty:BYTES | pause:DUR (pause budget; enables the incremental pipeline)")
 	heap := flag.Int("heap", 8<<20, "per-shard container heap bytes")
 	buckets := flag.Int("buckets", 1<<15, "hash-map buckets per shard")
 	batch := flag.Int("batch", 2048, "global ops per policy decision batch")
+	budget := flag.Int("budget", 0, "incremental checkpoint quantum in bytes per step; 0 = stop-the-world cuts (pause policies default it)")
 	seed := flag.Int64("seed", 1, "label-hash seed for all client streams")
 	parallel := flag.Int("parallel", 0, "verification cells in flight (0 = GOMAXPROCS); never changes output bytes")
 	jsonPath := flag.String("json", "", "write per-shard and aggregate metrics (harness table schema) to this file")
@@ -84,20 +85,21 @@ func run() int {
 	}
 
 	cfg := server.Config{
-		Shards:   *shards,
-		Clients:  *clients,
-		Mix:      mix,
-		Ops:      *ops,
-		Keys:     *keys,
-		DS:       kind,
-		Mode:     mode,
-		HeapSize: *heap,
-		Buckets:  *buckets,
-		BatchOps: *batch,
-		Policy:   policy,
-		Seed:     *seed,
-		Parallel: *parallel,
-		Trace:    *tracePath != "" || *jsonPath != "",
+		Shards:     *shards,
+		Clients:    *clients,
+		Mix:        mix,
+		Ops:        *ops,
+		Keys:       *keys,
+		DS:         kind,
+		Mode:       mode,
+		HeapSize:   *heap,
+		Buckets:    *buckets,
+		BatchOps:   *batch,
+		StepBudget: *budget,
+		Policy:     policy,
+		Seed:       *seed,
+		Parallel:   *parallel,
+		Trace:      *tracePath != "" || *jsonPath != "",
 	}
 	svc, err := server.New(cfg)
 	if err != nil {
@@ -150,7 +152,7 @@ func buildTable(cfg server.Config, backend, ds string, res *server.Result) harne
 	t := harness.Table{
 		Title: fmt.Sprintf("crpmserve: %d shards x %d clients, YCSB-%s, %s/%s, %s, %d ops",
 			cfg.Shards, cfg.Clients, cfg.Mix.Name, backend, ds, cfg.Policy.Name(), cfg.Ops),
-		Header: []string{"shard", "ops", "cuts", "epoch", "sim-ms", "Mops/s", "p50-lat-us", "p99-lat-us", "p99-pause-us", "max-pause-us"},
+		Header: []string{"shard", "ops", "cuts", "epoch", "sim-ms", "Mops/s", "p50-lat-us", "p99-lat-us", "p999-lat-us", "p99-pause-us", "p999-pause-us", "max-pause-us"},
 	}
 	ps2ms := func(ps int64) string { return fmt.Sprintf("%.3f", float64(ps)/1e9) }
 	ps2us := func(ps int64) string { return fmt.Sprintf("%.3f", float64(ps)/1e6) }
@@ -168,7 +170,9 @@ func buildTable(cfg server.Config, backend, ds string, res *server.Result) harne
 			fmt.Sprintf("%.3f", tput),
 			ps2us(st.P50LatPS),
 			ps2us(st.P99LatPS),
+			ps2us(st.P999LatPS),
 			ps2us(st.P99PausePS),
+			ps2us(st.P999PausePS),
 			ps2us(st.PauseMaxPS),
 		})
 		pfx := fmt.Sprintf("serve_shard%d_", st.Shard)
@@ -176,7 +180,9 @@ func buildTable(cfg server.Config, backend, ds string, res *server.Result) harne
 		t.AddMetric(pfx+"cuts", float64(st.Cuts))
 		t.AddMetric(pfx+"sim_ms", float64(st.SimPS)/1e9)
 		t.AddMetric(pfx+"p99_lat_us", float64(st.P99LatPS)/1e6)
+		t.AddMetric(pfx+"p999_lat_us", float64(st.P999LatPS)/1e6)
 		t.AddMetric(pfx+"p99_pause_us", float64(st.P99PausePS)/1e6)
+		t.AddMetric(pfx+"p999_pause_us", float64(st.P999PausePS)/1e6)
 	}
 	t.Rows = append(t.Rows, []string{
 		"all",
@@ -185,13 +191,14 @@ func buildTable(cfg server.Config, backend, ds string, res *server.Result) harne
 		"",
 		ps2ms(res.SimPS),
 		fmt.Sprintf("%.3f", res.ThroughputOps/1e6),
-		"", ps2us(res.P99LatPS), "", ps2us(res.MaxPausePS),
+		"", ps2us(res.P99LatPS), ps2us(res.P999LatPS), "", "", ps2us(res.MaxPausePS),
 	})
 	t.AddMetric("serve_total_ops", float64(res.TotalOps))
 	t.AddMetric("serve_cuts", float64(res.Cuts))
 	t.AddMetric("serve_sim_ms", float64(res.SimPS)/1e9)
 	t.AddMetric("serve_tput_mops", res.ThroughputOps/1e6)
 	t.AddMetric("serve_p99_lat_us", float64(res.P99LatPS)/1e6)
+	t.AddMetric("serve_p999_lat_us", float64(res.P999LatPS)/1e6)
 	t.AddMetric("serve_max_pause_us", float64(res.MaxPausePS)/1e6)
 	t.AddMetric("serve_violations", float64(len(res.Violations)))
 	return t

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"libcrpm/internal/bitmap"
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/region"
@@ -10,6 +12,9 @@ import (
 // committed checkpoint state, failure-atomically (§3.4.2, Figure 6 lines
 // 26-44). On return the container is ready for the next epoch.
 func (c *Container) Checkpoint() error {
+	if c.inc != nil {
+		return errors.New("core: monolithic Checkpoint with an incremental checkpoint in flight")
+	}
 	clock := c.dev.Clock()
 	prev := clock.SetCategory(nvm.CatCheckpoint)
 	defer clock.SetCategory(prev)

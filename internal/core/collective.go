@@ -31,15 +31,16 @@ func NewCollective(c *Container, n int) *Collective {
 	return g
 }
 
-// Checkpoint is called by every participating thread. The last thread to
-// arrive runs the container checkpoint; all threads observe its error.
-func (g *Collective) Checkpoint() error {
+// rendezvous blocks until all n threads have entered, runs fn on the last
+// arrival (nobody is mutating container data then), and resumes everyone
+// with fn's error.
+func (g *Collective) rendezvous(fn func() error) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	gen := g.gen
 	g.arrived++
 	if g.arrived == g.n {
-		g.err = g.c.Checkpoint()
+		g.err = fn()
 		g.arrived = 0
 		g.gen++
 		g.cond.Broadcast()
@@ -49,6 +50,27 @@ func (g *Collective) Checkpoint() error {
 		g.cond.Wait()
 	}
 	return g.err
+}
+
+// Checkpoint is called by every participating thread. The last thread to
+// arrive runs the container checkpoint; all threads observe its error.
+func (g *Collective) Checkpoint() error { return g.rendezvous(g.c.Checkpoint) }
+
+// CheckpointBegin opens an incremental checkpoint once all threads have
+// rendezvoused, so the captured cut is a quiescent point. Threads then
+// resume writing; any of them may drive CheckpointStep (the container
+// must run with Options.Concurrent for that).
+func (g *Collective) CheckpointBegin() error { return g.rendezvous(g.c.CheckpointBegin) }
+
+// CheckpointCommit rendezvouses all threads, commits the in-flight cut,
+// and drains the replay, so the pipeline is idle on return.
+func (g *Collective) CheckpointCommit() error {
+	return g.rendezvous(func() error {
+		if err := g.c.CheckpointCommit(); err != nil {
+			return err
+		}
+		return g.c.CheckpointFinish()
+	})
 }
 
 // RollbackOneEpoch moves the committed epoch counter back by one, making the
@@ -66,6 +88,9 @@ func (g *Collective) Checkpoint() error {
 func (c *Container) RollbackOneEpoch() error {
 	if c.opts.Mode == ModeDefault && c.opts.EagerCoWSegments >= 0 {
 		return errors.New("core: rollback requires EagerCoWSegments < 0 (epoch e-1 must survive the checkpoint of e)")
+	}
+	if c.inc != nil {
+		return errors.New("core: rollback with an incremental checkpoint in flight")
 	}
 	e := c.meta.CommittedEpoch()
 	if e == 0 {

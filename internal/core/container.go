@@ -116,6 +116,9 @@ type Container struct {
 	lastBlk      int
 	mainToBackup []uint32 // inverse of the persistent backup_to_main array
 	freeBackups  []uint32 // backup segments with no pairing
+	// inc is the in-flight incremental checkpoint (pipeline.go); nil means
+	// idle, and every write-path pipeline guard vanishes.
+	inc *incState
 
 	// Buffered-mode state.
 	buf           []byte      // DRAM working buffer
@@ -338,6 +341,9 @@ func (c *Container) OnWrite(off, n int) {
 	}
 	prev := clock.SetCategory(nvm.CatTrace)
 	if c.opts.Mode == ModeBuffered {
+		if inc := c.inc; inc != nil {
+			c.incOnWriteBuffered(inc, first, last)
+		}
 		for b := first; b <= last; b++ {
 			if c.curDirty.Set(b) {
 				// First touch of the block this epoch: full hook work.
@@ -351,6 +357,12 @@ func (c *Container) OnWrite(off, n int) {
 				clock.Advance(c.dev.Cost().HookPS / 4)
 			}
 		}
+		c.lastBlk = last
+		clock.SetCategory(prev)
+		return
+	}
+	if inc := c.inc; inc != nil {
+		c.incOnWriteDefault(inc, off, n)
 		c.lastBlk = last
 		clock.SetCategory(prev)
 		return
@@ -386,6 +398,10 @@ func (c *Container) Write(off int, src []byte) {
 		} else {
 			c.dev.ChargeDRAMCopy(len(src))
 		}
+		return
+	}
+	if inc := c.inc; inc != nil && c.incSpansQuarantine(off, len(src)) {
+		c.incWrite(inc, off, src)
 		return
 	}
 	if len(src) <= 16 {

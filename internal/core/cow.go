@@ -159,6 +159,12 @@ func (c *Container) stealBackup(forSeg int) (uint32, bool) {
 		if c.dirtySegs.Test(victim) {
 			continue
 		}
+		// Segments an in-flight incremental cut still depends on are
+		// reserved too: their backups hold (or are becoming) the state
+		// the cut commits or replays.
+		if c.incReserved(victim) {
+			continue
+		}
 		// Skip segments mid-CoW (their lock is held).
 		if !c.segLocks[victim].TryLock() {
 			continue
@@ -180,6 +186,9 @@ func (c *Container) stealBackup(forSeg int) (uint32, bool) {
 		}
 		victim := int(m)
 		if c.dirtySegs.Test(victim) {
+			continue
+		}
+		if c.incReserved(victim) {
 			continue
 		}
 		if !c.segLocks[victim].TryLock() {

@@ -1,0 +1,697 @@
+package core
+
+import (
+	"errors"
+
+	"libcrpm/internal/bitmap"
+	"libcrpm/internal/nvm"
+	"libcrpm/internal/region"
+)
+
+// The incremental cut pipeline splits Checkpoint into resumable pieces so
+// a serving loop can interleave bounded quanta of checkpoint work with
+// foreground traffic instead of stalling for the whole flush:
+//
+//	CheckpointBegin   capture the cut's dirty set, quarantine its segments
+//	CheckpointStep    retire a budgeted quantum of flush/copy work + fence
+//	CheckpointCommit  drain the remainder, two-fence epoch flip
+//	CheckpointStep    (default mode) retire budgeted quanta of replay work
+//
+// The committed image is exactly the working state at CheckpointBegin:
+// a write barrier in OnWrite/Write intercepts stores that land in a
+// quarantined segment while its cut is in flight. In default mode the
+// barrier first flushes the block's pending cut claim in place
+// (flush-before-write), then captures the block's cut-boundary image
+// aside and diverts the store to cache only — the store reaches the
+// media through the post-commit replay, never before, so a crash at any
+// point still recovers an exact epoch boundary. In buffered mode the
+// barrier only snapshots the block's DRAM image aside before the new
+// store lands; the copy loop substitutes the aside image.
+//
+// Replay (default mode only) runs after the commit: each segment that
+// absorbed staged stores gets its next-epoch copy-on-write performed
+// with aside images substituted for staged blocks, then the staged
+// stores are re-applied as ordinary dirty stores. Coordinated callers
+// must barrier between CheckpointCommit and the replay steps
+// (mpi.CheckpointIncremental does): replay overwrites epoch e's backup
+// copies, which peers may still need for a one-epoch rollback until
+// every rank has committed e+1.
+
+type incPhase int
+
+const (
+	incFlush  incPhase = iota // between Begin and Commit
+	incReplay                 // after Commit, staged stores outstanding
+)
+
+// incState is the volatile state of one in-flight incremental checkpoint.
+// It exists only between CheckpointBegin and pipeline completion; a nil
+// Container.inc means the pipeline is idle and every write-path guard
+// vanishes.
+type incState struct {
+	phase incPhase
+
+	// cutSegs quarantines the cut's segments: stores into them are
+	// intercepted by the write barrier until the segment's cut (and, in
+	// default mode, its replay) has fully retired.
+	cutSegs *bitmap.Set
+	// cutBlocks is the cut's remaining flush (default) or copy (buffered)
+	// set; bits clear as quanta and the write barrier retire them.
+	cutBlocks *bitmap.Set
+	// fcur is the ascending cursor into cutBlocks: everything below it has
+	// been retired, so each quantum resumes the scan in O(1).
+	fcur      int
+	remaining int // bytes still set in cutBlocks
+	cutBytes  int // cut footprint at Begin (metrics)
+
+	// aside maps block -> its cut-boundary image, captured by the write
+	// barrier before the first post-Begin store into the block.
+	aside map[int][]byte
+
+	// Default-mode staging: blocks whose post-Begin stores live only in
+	// cache (never marked dirty, so they cannot reach the media) until the
+	// post-commit replay re-applies them.
+	staged *bitmap.Set
+	// segCost holds each staged segment's replay cost in bytes; replayRem
+	// is their sum, decremented as segments complete. liftRem counts the
+	// staged bytes of flipped segments still waiting to be re-applied as
+	// ordinary dirty stores (the budget-bounded quarantine lift).
+	segCost   map[int]int
+	replayRem int
+	liftRem   int
+	// Replay cursor: current segment (-1 = pick next), next block, whether
+	// the segment needs a full copy (fresh pairing), and the backup target.
+	rSeg, rBlk int
+	rFull      bool
+	rBackupOff int
+
+	// Buffered-mode plan, fixed at Begin exactly as the monolithic
+	// checkpoint would have chosen: per-segment copy target and state
+	// flip, plus the Begin-time curDirty image that decides which copied
+	// blocks the other region still misses.
+	plans   map[int]incPlan
+	fromCur *bitmap.Set
+}
+
+type incPlan struct {
+	targetOff  int
+	newState   region.SegState
+	pendBackup bool // draining pendingBackup (target is the backup region)
+}
+
+// CheckpointBegin opens an incremental checkpoint: the current dirty set
+// becomes the cut, its segments are quarantined behind the write barrier,
+// and the next epoch opens for foreground writes. No device work happens
+// here (buffered mode persists at most a few fresh pairing entries), so
+// the pause is near zero; the flush/copy work drains through
+// CheckpointStep and CheckpointCommit.
+func (c *Container) CheckpointBegin() error {
+	if c.opts.Concurrent {
+		c.writeMu.Lock()
+		defer c.writeMu.Unlock()
+	}
+	if c.inc != nil {
+		return errors.New("core: incremental checkpoint already in flight")
+	}
+	clock := c.dev.Clock()
+	prev := clock.SetCategory(nvm.CatCheckpoint)
+	defer clock.SetCategory(prev)
+	c.rec.Begin("ckpt-begin")
+	defer c.rec.End()
+	// The cut clears dirty-segment state, so the OnWrite memo is stale.
+	c.lastBlk = -1
+	bps := c.l.BlocksPerSeg()
+	inc := &incState{
+		phase:     incFlush,
+		cutSegs:   c.dirtySegs.Clone(),
+		cutBlocks: bitmap.New(c.l.TotalBlocks()),
+		aside:     make(map[int][]byte),
+		rSeg:      -1,
+	}
+	if c.opts.Mode == ModeBuffered {
+		inc.fromCur = c.curDirty.Clone()
+		inc.plans = make(map[int]incPlan)
+		eIdx := int(c.meta.CommittedEpoch() % 2)
+		for s := c.dirtySegs.NextSet(0); s >= 0; s = c.dirtySegs.NextSet(s + 1) {
+			var p incPlan
+			var pend *bitmap.Set
+			switch c.meta.SegState(eIdx, s) {
+			case region.SSMain:
+				// Committed copy lives in main: replicate into the backup.
+				// Pairing happens here, while dirtySegs still protects this
+				// cut's segments from stealing each other's backups.
+				backup, hadPair := c.findPairedBackup(s)
+				if !hadPair {
+					if !c.virginBackups.Test(int(backup)) {
+						c.pendingBackup.SetRange(s*bps, (s+1)*bps)
+					}
+					c.virginBackups.Clear(int(backup))
+					c.meta.SetBackupToMain(int(backup), uint32(s))
+				}
+				p = incPlan{targetOff: c.l.BackupOff(int(backup)), newState: region.SSBackup, pendBackup: true}
+				pend = c.pendingBackup
+			case region.SSBackup:
+				p = incPlan{targetOff: c.l.MainOff(s), newState: region.SSMain}
+				pend = c.pendingMain
+			default: // SSInitial: first commit of this segment goes to main.
+				p = incPlan{targetOff: c.l.MainOff(s), newState: region.SSMain}
+				pend = c.pendingMain
+			}
+			inc.plans[s] = p
+			hi := (s + 1) * bps
+			for b := c.curDirty.NextSetInRange(s*bps, hi); b >= 0; b = c.curDirty.NextSetInRange(b+1, hi) {
+				inc.cutBlocks.Set(b)
+			}
+			for b := pend.NextSetInRange(s*bps, hi); b >= 0; b = pend.NextSetInRange(b+1, hi) {
+				inc.cutBlocks.Set(b)
+			}
+		}
+		c.curDirty.ClearAll()
+	} else {
+		inc.staged = bitmap.New(c.l.TotalBlocks())
+		inc.segCost = make(map[int]int)
+		for s := c.dirtySegs.NextSet(0); s >= 0; s = c.dirtySegs.NextSet(s + 1) {
+			c.dirtyBlocks.ForEachRunInRange(s*bps, (s+1)*bps, func(b0, b1 int) {
+				inc.cutBlocks.SetRange(b0, b1)
+			})
+		}
+	}
+	inc.remaining = inc.cutBlocks.Count() * c.l.BlkSize
+	inc.cutBytes = inc.remaining
+	c.dirtySegs.ClearAll()
+	c.inc = inc
+	return nil
+}
+
+// CheckpointStep retires up to budgetBytes of the in-flight checkpoint's
+// pending work — the cut's flush/copy set before the commit, the staged
+// replay after it — and ends the quantum with one fence so group-committed
+// acks can ride it. budgetBytes <= 0 drains the current phase completely.
+// It returns the bytes still pending in the current phase; a call with no
+// checkpoint in flight is a no-op returning 0.
+func (c *Container) CheckpointStep(budgetBytes int) (int, error) {
+	if c.opts.Concurrent {
+		c.writeMu.Lock()
+		defer c.writeMu.Unlock()
+	}
+	return c.checkpointStepLocked(budgetBytes)
+}
+
+func (c *Container) checkpointStepLocked(budgetBytes int) (int, error) {
+	inc := c.inc
+	if inc == nil {
+		return 0, nil
+	}
+	clock := c.dev.Clock()
+	prev := clock.SetCategory(nvm.CatCheckpoint)
+	defer clock.SetCategory(prev)
+	if inc.phase == incReplay {
+		c.rec.Begin("ckpt-replay")
+		c.replayQuantum(budgetBytes)
+		c.rec.End()
+		if inc.replayRem <= 0 && inc.liftRem <= 0 {
+			c.incFinish()
+			return 0, nil
+		}
+		return inc.replayRem + inc.liftRem, nil
+	}
+	if inc.remaining == 0 {
+		return 0, nil
+	}
+	c.rec.Begin("ckpt-step")
+	c.stepCopy(budgetBytes)
+	c.dev.SFence()
+	c.rec.End()
+	return inc.remaining, nil
+}
+
+// stepCopy retires up to budgetBytes of the cut's remaining set in
+// ascending block order: in-place flushes in default mode, replica copies
+// in buffered mode. The caller fences.
+func (c *Container) stepCopy(budgetBytes int) {
+	inc := c.inc
+	if budgetBytes <= 0 || budgetBytes > inc.remaining {
+		budgetBytes = inc.remaining
+	}
+	blk := c.l.BlkSize
+	want := (budgetBytes + blk - 1) / blk
+	if c.opts.Mode == ModeBuffered {
+		bps := c.l.BlocksPerSeg()
+		for i := 0; i < want; i++ {
+			b := inc.cutBlocks.NextSet(inc.fcur)
+			if b < 0 {
+				return
+			}
+			inc.fcur = b + 1
+			s := b / bps
+			p := inc.plans[s]
+			boff := (b - s*bps) * blk
+			src := inc.aside[b]
+			if src == nil {
+				src = c.buf[s*c.l.SegSize+boff : s*c.l.SegSize+boff+blk]
+			} else {
+				delete(inc.aside, b)
+			}
+			c.dev.ChargeDRAMCopy(blk)
+			c.dev.NTStore(p.targetOff+boff, src)
+			if p.pendBackup {
+				c.pendingBackup.Clear(b)
+				if inc.fromCur.Test(b) {
+					c.pendingMain.Set(b)
+				}
+			} else {
+				c.pendingMain.Clear(b)
+				if inc.fromCur.Test(b) {
+					c.pendingBackup.Set(b)
+				}
+			}
+			inc.cutBlocks.Clear(b)
+			inc.remaining -= blk
+		}
+		return
+	}
+	// Default mode: batch runs of adjacent pending blocks into single
+	// flushes, exactly as the monolithic flush loop does.
+	for want > 0 {
+		b0 := inc.cutBlocks.NextSet(inc.fcur)
+		if b0 < 0 {
+			return
+		}
+		b1 := b0 + 1
+		for b1-b0 < want && b1 < c.l.TotalBlocks() && inc.cutBlocks.Test(b1) {
+			b1++
+		}
+		c.dev.FlushRange(c.l.HeapToDevice(b0*blk), (b1-b0)*blk)
+		inc.cutBlocks.ClearRange(b0, b1)
+		inc.fcur = b1
+		inc.remaining -= (b1 - b0) * blk
+		want -= b1 - b0
+	}
+}
+
+// CheckpointCommit drains whatever remains of the cut's set, fences, and
+// performs the two-fence epoch flip — the same commit the monolithic
+// checkpoint issues. In default mode, segments that absorbed staged
+// stores while the cut was in flight leave replay work behind: the
+// pipeline stays in flight and subsequent CheckpointStep calls retire it.
+// Coordinated callers must barrier before stepping the replay (it
+// overwrites epoch e's backups, which peers may still need to roll back
+// to until everyone holds e+1).
+func (c *Container) CheckpointCommit() error {
+	if c.opts.Concurrent {
+		c.writeMu.Lock()
+		defer c.writeMu.Unlock()
+	}
+	inc := c.inc
+	if inc == nil {
+		return errors.New("core: no incremental checkpoint in flight")
+	}
+	if inc.phase != incFlush {
+		return errors.New("core: incremental checkpoint already committed; step the replay instead")
+	}
+	clock := c.dev.Clock()
+	prev := clock.SetCategory(nvm.CatCheckpoint)
+	defer clock.SetCategory(prev)
+	c.rec.Begin("ckpt-commit")
+	if c.opts.Mode == ModeDefault && inc.remaining >= c.opts.LLCSize {
+		// The monolithic LLC heuristic: above the threshold one wbinvd
+		// beats a clwb loop. Staged lines are clean, so they survive it.
+		c.dev.WBINVD()
+		inc.cutBlocks.ClearAll()
+		inc.remaining = 0
+	} else if inc.remaining > 0 {
+		c.stepCopy(-1)
+	}
+	c.rec.Begin("fence")
+	c.dev.SFence()
+	c.rec.End()
+
+	c.rec.Begin("commit")
+	e := c.meta.CommittedEpoch()
+	eIdx, neIdx := int(e%2), int((e+1)%2)
+	c.meta.CopySegStateArray(neIdx, eIdx)
+	for s := inc.cutSegs.NextSet(0); s >= 0; s = inc.cutSegs.NextSet(s + 1) {
+		if c.opts.Mode == ModeBuffered {
+			c.meta.SetSegState(neIdx, s, inc.plans[s].newState)
+		} else {
+			c.meta.SetSegState(neIdx, s, region.SSMain)
+		}
+	}
+	c.meta.FlushSegStateArray(neIdx)
+	c.dev.SFence()
+	c.meta.SetCommittedEpoch(e + 1)
+	c.dev.SFence()
+	c.rec.End()
+	c.metrics.CheckpointBytes += int64(inc.cutBytes)
+	c.rec.Count("ckpt/dirty_bytes", int64(inc.cutBytes))
+	c.metrics.Epochs++
+	c.rec.End() // ckpt-commit
+
+	inc.phase = incReplay
+	if c.opts.Mode == ModeDefault {
+		bps := c.l.BlocksPerSeg()
+		for b := inc.staged.NextSet(0); b >= 0; b = inc.staged.NextSet((b/bps + 1) * bps) {
+			s := b / bps
+			inc.segCost[s] = c.segReplayCost(s)
+			inc.replayRem += inc.segCost[s]
+		}
+	}
+	if inc.replayRem == 0 {
+		c.incFinish()
+	}
+	return nil
+}
+
+// segReplayCost is the bytes segment s's replayed copy-on-write will
+// move: a differential copy when a pairing exists, a full segment
+// otherwise. dirtyBlocks of a quarantined segment cannot change while the
+// cut is in flight, so the cost is stable once recorded.
+func (c *Container) segReplayCost(s int) int {
+	if c.mainToBackup[s] != region.NoPair {
+		bps := c.l.BlocksPerSeg()
+		return c.dirtyBlocks.CountRange(s*bps, (s+1)*bps) * c.l.BlkSize
+	}
+	return c.l.SegSize
+}
+
+// replayQuantum retires up to budgetBytes of post-commit replay. For each
+// staged segment it performs the next epoch's copy-on-write — backup
+// copies sourced from aside images where the block was staged, from the
+// working state otherwise — batching all completed segments' state flips
+// under a shared fence pair like eager CoW. Completed segments leave the
+// quarantine immediately (new stores take the ordinary dirty path; a
+// copy-on-write probe sees SS_Backup and copies nothing); their staged
+// stores are then re-applied as ordinary dirty stores by the lift loop,
+// budget-bounded like the copies, so no single quantum absorbs a hot
+// segment's whole staged set.
+func (c *Container) replayQuantum(budgetBytes int) {
+	inc := c.inc
+	if budgetBytes <= 0 {
+		budgetBytes = int(^uint(0) >> 1)
+	}
+	bps, blk := c.l.BlocksPerSeg(), c.l.BlkSize
+	processed := 0
+	var completed []int
+	for processed < budgetBytes {
+		if inc.rSeg < 0 {
+			// Next staged segment still quarantined (flipped segments'
+			// blocks stay in staged until the lift retires them).
+			b := inc.staged.NextSet(0)
+			for b >= 0 && !inc.cutSegs.Test(b/bps) {
+				b = inc.staged.NextSet((b/bps + 1) * bps)
+			}
+			if b < 0 {
+				break
+			}
+			s := b / bps
+			backup, hadPair := c.findPairedBackup(s)
+			if !hadPair {
+				c.meta.SetBackupToMain(int(backup), uint32(s))
+			}
+			inc.rSeg, inc.rBlk = s, s*bps
+			inc.rFull = !hadPair
+			inc.rBackupOff = c.l.BackupOff(int(backup))
+		}
+		s := inc.rSeg
+		hi := (s + 1) * bps
+		b := -1
+		if inc.rFull {
+			if inc.rBlk < hi {
+				b = inc.rBlk
+			}
+		} else {
+			b = c.dirtyBlocks.NextSetInRange(inc.rBlk, hi)
+		}
+		if b < 0 {
+			completed = append(completed, s)
+			inc.rSeg = -1
+			// Volatile bookkeeping right away, so the scan cannot re-pick
+			// the segment within this quantum: restart its differential
+			// tracking, lift the quarantine (its staged stores become lift
+			// work), and retire its replay cost. All of it dies with the
+			// pipeline on a crash; only the state flip below needs fences.
+			c.dirtyBlocks.ClearRange(s*bps, hi)
+			inc.cutSegs.Clear(s)
+			inc.liftRem += inc.staged.CountRange(s*bps, hi) * blk
+			inc.replayRem -= inc.segCost[s]
+			delete(inc.segCost, s)
+			continue
+		}
+		boff := (b - s*bps) * blk
+		if src := inc.aside[b]; src != nil {
+			c.dev.ChargeDRAMCopy(blk)
+			c.dev.NTStore(inc.rBackupOff+boff, src)
+		} else {
+			mainOff := c.l.MainOff(s) + boff
+			c.dev.ChargeNVMRead(blk)
+			c.dev.NTStore(inc.rBackupOff+boff, c.dev.Working()[mainOff:mainOff+blk])
+		}
+		c.cowBytes += int64(blk)
+		processed += blk
+		inc.rBlk = b + 1
+	}
+	if processed > 0 || len(completed) > 0 {
+		c.dev.SFence() // all quantum copies durable
+	}
+	if len(completed) > 0 {
+		neIdx := int(c.meta.CommittedEpoch() % 2)
+		for _, s := range completed {
+			c.meta.SetSegState(neIdx, s, region.SSBackup)
+			c.meta.FlushSegState(neIdx, s)
+		}
+		c.dev.SFence() // all state flips durable
+	}
+	// Lift: re-apply flipped segments' staged stores as ordinary
+	// next-epoch writes (they mark their lines dirty, so from here the
+	// normal protocol owns them). Volatile only — no fence needed, and a
+	// crash loses them with the rest of the uncommitted epoch.
+	if inc.liftRem > 0 && processed < budgetBytes {
+		for b := inc.staged.NextSet(0); b >= 0 && processed < budgetBytes; {
+			s := b / bps
+			if inc.cutSegs.Test(s) {
+				b = inc.staged.NextSet((s + 1) * bps)
+				continue
+			}
+			off := c.l.HeapToDevice(b * blk)
+			c.dev.StoreBulk(off, c.dev.Working()[off:off+blk])
+			c.dirtyBlocks.Set(b)
+			c.dirtySegs.Set(s)
+			inc.staged.Clear(b)
+			delete(inc.aside, b)
+			inc.liftRem -= blk
+			processed += blk
+			b = inc.staged.NextSet(b + 1)
+		}
+	}
+}
+
+// incFinish closes the pipeline: metadata is re-sealed (the epoch's last
+// metadata mutation is behind us) and every write-path guard vanishes.
+func (c *Container) incFinish() {
+	c.meta.Seal()
+	c.inc = nil
+	c.lastBlk = -1
+}
+
+// CheckpointFinish drains every remaining quantum of an in-flight
+// incremental checkpoint's replay immediately. It is an error before
+// CheckpointCommit (the caller owns the commit decision) and a no-op when
+// the pipeline is idle.
+func (c *Container) CheckpointFinish() error {
+	if c.opts.Concurrent {
+		c.writeMu.Lock()
+		defer c.writeMu.Unlock()
+	}
+	for c.inc != nil {
+		if c.inc.phase == incFlush {
+			return errors.New("core: CheckpointFinish before CheckpointCommit")
+		}
+		if _, err := c.checkpointStepLocked(-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckpointInFlight reports whether an incremental checkpoint is open.
+func (c *Container) CheckpointInFlight() bool {
+	if c.opts.Concurrent {
+		c.writeMu.Lock()
+		defer c.writeMu.Unlock()
+	}
+	return c.inc != nil
+}
+
+// PendingCutBytes is the flush/copy footprint a CheckpointBegin issued now
+// would capture — what a dirty-rate-adaptive cut policy budgets against.
+// Unlike DirtyInfo it counts the buffered mode's pending replica blocks,
+// which the cut must copy even when untouched this epoch.
+func (c *Container) PendingCutBytes() int {
+	if c.opts.Concurrent {
+		c.writeMu.Lock()
+		defer c.writeMu.Unlock()
+	}
+	bps := c.l.BlocksPerSeg()
+	blocks := 0
+	if c.opts.Mode != ModeBuffered {
+		for s := c.dirtySegs.NextSet(0); s >= 0; s = c.dirtySegs.NextSet(s + 1) {
+			blocks += c.dirtyBlocks.CountRange(s*bps, (s+1)*bps)
+		}
+		return blocks * c.l.BlkSize
+	}
+	eIdx := int(c.meta.CommittedEpoch() % 2)
+	for s := c.dirtySegs.NextSet(0); s >= 0; s = c.dirtySegs.NextSet(s + 1) {
+		pend := c.pendingMain
+		if c.meta.SegState(eIdx, s) == region.SSMain {
+			pend = c.pendingBackup
+		}
+		lo, hi := s*bps, (s+1)*bps
+		blocks += c.curDirty.CountRange(lo, hi)
+		for b := pend.NextSetInRange(lo, hi); b >= 0; b = pend.NextSetInRange(b+1, hi) {
+			if !c.curDirty.Test(b) {
+				blocks++
+			}
+		}
+	}
+	return blocks * c.l.BlkSize
+}
+
+// incOnWriteDefault is the default-mode write barrier while a checkpoint
+// is in flight, replacing OnWrite's normal bookkeeping. Stores into
+// quarantined segments first retire the block's pending cut flush in
+// place (flush-before-write: the block still holds its cut-boundary
+// value), then capture that image aside and mark the block staged — the
+// upcoming Write lands in cache only. Stores elsewhere take the ordinary
+// next-epoch copy-on-write path.
+func (c *Container) incOnWriteDefault(inc *incState, off, n int) {
+	clock := c.dev.Clock()
+	blk := c.l.BlkSize
+	firstSeg, lastSeg := c.l.SegOf(off), c.l.SegOf(off+n-1)
+	for s := firstSeg; s <= lastSeg; s++ {
+		if !inc.cutSegs.Test(s) && !c.dirtySegs.Test(s) {
+			c.copyOnWrite(s)
+		}
+	}
+	first, last := c.l.BlockOf(off), c.l.BlockOf(off+n-1)
+	bps := c.l.BlocksPerSeg()
+	for b := first; b <= last; b++ {
+		s := b / bps
+		if !inc.cutSegs.Test(s) {
+			if c.dirtyBlocks.Set(b) {
+				c.dev.ChargeHook()
+				c.metrics.TraceEvents++
+			} else {
+				clock.Advance(c.dev.Cost().HookPS / 4)
+			}
+			continue
+		}
+		if inc.phase == incFlush && inc.cutBlocks.Test(b) {
+			cat := clock.SetCategory(nvm.CatCheckpoint)
+			c.dev.FlushRange(c.l.HeapToDevice(b*blk), blk)
+			clock.SetCategory(cat)
+			inc.cutBlocks.Clear(b)
+			inc.remaining -= blk
+		}
+		if inc.staged.Set(b) {
+			devOff := c.l.HeapToDevice(b * blk)
+			img := make([]byte, blk)
+			copy(img, c.dev.Working()[devOff:devOff+blk])
+			inc.aside[b] = img
+			c.dev.ChargeDRAMCopy(blk)
+			c.dev.ChargeHook()
+			c.metrics.TraceEvents++
+			if inc.phase == incReplay {
+				if _, seen := inc.segCost[s]; !seen && s != inc.rSeg {
+					// First staged store into this segment after the
+					// commit: its replay was not yet scheduled.
+					inc.segCost[s] = c.segReplayCost(s)
+					inc.replayRem += inc.segCost[s]
+				}
+			}
+		} else {
+			clock.Advance(c.dev.Cost().HookPS / 4)
+		}
+	}
+}
+
+// incOnWriteBuffered captures cut-boundary images for buffered-mode
+// blocks whose cut copy has not retired yet; the caller then runs the
+// normal bookkeeping (the new store is ordinary next-epoch dirt).
+func (c *Container) incOnWriteBuffered(inc *incState, first, last int) {
+	blk := c.l.BlkSize
+	for b := first; b <= last; b++ {
+		if !inc.cutBlocks.Test(b) {
+			continue
+		}
+		if _, ok := inc.aside[b]; ok {
+			continue
+		}
+		img := make([]byte, blk)
+		copy(img, c.buf[b*blk:(b+1)*blk])
+		inc.aside[b] = img
+		c.dev.ChargeDRAMCopy(blk)
+	}
+}
+
+// incWrite performs the store for a default-mode write that overlaps
+// quarantined segments: staged pieces go to cache only (working state,
+// never marked dirty, so they cannot reach the media before the replay),
+// pieces outside the quarantine take the normal store path.
+func (c *Container) incWrite(inc *incState, off int, src []byte) {
+	clock := c.dev.Clock()
+	for len(src) > 0 {
+		s := c.l.SegOf(off)
+		n := len(src)
+		if end := (s + 1) * c.l.SegSize; off+n > end {
+			n = end - off
+		}
+		switch {
+		case inc.cutSegs.Test(s):
+			base := c.l.HeapToDevice(off)
+			copy(c.dev.Working()[base:base+n], src[:n])
+			if n <= 16 {
+				clock.Advance(c.dev.Cost().StorePS)
+			} else {
+				clock.Advance(int64(n) * c.dev.Cost().DRAMBytePS)
+			}
+		case n <= 16:
+			c.dev.Store(c.l.HeapToDevice(off), src[:n])
+		default:
+			c.dev.StoreBulk(c.l.HeapToDevice(off), src[:n])
+		}
+		off += n
+		src = src[n:]
+	}
+}
+
+// incReserved reports whether the in-flight pipeline still depends on
+// segment s: either the segment is quarantined (its backup holds or is
+// becoming the cut's committed state), or it has flipped but staged
+// stores are still waiting to be lifted (evacuating its backup would
+// overwrite the cache-only staged values in working main). Backup
+// stealing must skip such segments.
+func (c *Container) incReserved(s int) bool {
+	inc := c.inc
+	if inc == nil {
+		return false
+	}
+	if inc.cutSegs.Test(s) {
+		return true
+	}
+	if inc.staged == nil {
+		return false
+	}
+	bps := c.l.BlocksPerSeg()
+	return inc.staged.NextSetInRange(s*bps, (s+1)*bps) >= 0
+}
+
+// incSpansQuarantine reports whether [off, off+n) overlaps a quarantined
+// segment (Write's fast-path test).
+func (c *Container) incSpansQuarantine(off, n int) bool {
+	for s, last := c.l.SegOf(off), c.l.SegOf(off+n-1); s <= last; s++ {
+		if c.inc.cutSegs.Test(s) {
+			return true
+		}
+	}
+	return false
+}

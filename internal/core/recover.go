@@ -89,6 +89,8 @@ func (c *Container) Recover() error {
 	c.dirtyBlocks.ClearAll()
 	c.dirtySegs.ClearAll()
 	c.lastBlk = -1
+	// Any in-flight incremental cut died with the volatile state.
+	c.inc = nil
 	c.lastRecovery = RecoveryPhases{ResyncPS: clock.NowPS() - startPS}
 
 	if c.opts.Mode == ModeBuffered {

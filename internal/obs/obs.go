@@ -197,6 +197,12 @@ func (r *Recorder) Observe(name string, bounds []int64, v int64) {
 // checkpoint-pause histogram: 1 µs to ~4.2 s in factor-of-4 steps.
 var PauseBounds = ExpBounds(1_000_000, 4, 12)
 
+// StepBounds are the bucket upper bounds (simulated picoseconds) of the
+// incremental-checkpoint quantum-duration histogram: 100 ns to ~6.7 s in
+// factor-of-4 steps, one decade finer than PauseBounds so sub-microsecond
+// pause budgets still resolve.
+var StepBounds = ExpBounds(100_000, 4, 14)
+
 // AmpBounds are the bucket upper bounds (percent) of the per-epoch media
 // write-amplification histogram: 100% is amplification-free.
 var AmpBounds = []int64{100, 125, 150, 200, 300, 400, 600, 800, 1200, 1600, 3200, 6400}

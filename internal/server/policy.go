@@ -1,11 +1,18 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"time"
+
+	"libcrpm/internal/nvm"
 )
+
+// ErrBadPolicy is wrapped by every cut-policy parse failure, so callers
+// can distinguish a malformed -policy flag from operational errors.
+var ErrBadPolicy = errors.New("server: bad cut policy")
 
 // CutStats is the globally reduced state a Policy decides from at each
 // batch boundary. Every rank computes the identical CutStats (the values
@@ -19,6 +26,12 @@ type CutStats struct {
 	DirtyBytes uint64
 	// Since is the simulated time since the last cut completed.
 	Since time.Duration
+	// Round is the simulated time since the previous policy decision —
+	// the horizon over which more dirt accrues before the policy can act
+	// again. Identical on every rank (aligned clocks), like Since.
+	Round time.Duration
+	// Shards is the world size, for policies that budget per shard.
+	Shards int
 }
 
 // Policy decides when the service ends an epoch with a coordinated cut.
@@ -57,33 +70,80 @@ func (p DirtyBytesPolicy) Name() string { return fmt.Sprintf("dirty:%d", p.Bytes
 // Cut implements Policy.
 func (p DirtyBytesPolicy) Cut(s CutStats) bool { return s.DirtyBytes >= p.Bytes }
 
+// PausePolicy is the dirty-rate-adaptive policy of the incremental cut
+// pipeline: each checkpoint pause is budgeted to Budget of simulated
+// time, which the simulator's flush cost converts into the bytes one
+// quantum can retire (QuantumBytes). A cut starts as soon as the
+// projected per-shard cut footprint — current dirty bytes extrapolated
+// one decision round ahead at the epoch's observed dirty rate — reaches
+// one quantum, so cuts begin early enough that each shard's backlog
+// drains in about one budgeted pause.
+type PausePolicy struct {
+	Budget       time.Duration
+	QuantumBytes uint64
+}
+
+// NewPausePolicy derives the quantum from the cost model: the cache
+// lines one Budget of CLWB time covers, floored at one line.
+func NewPausePolicy(budget time.Duration) PausePolicy {
+	lines := int64(budget) * 1000 / nvm.DefaultCostModel().CLWBPS
+	if lines < 1 {
+		lines = 1
+	}
+	return PausePolicy{Budget: budget, QuantumBytes: uint64(lines) * nvm.LineSize}
+}
+
+// Name implements Policy.
+func (p PausePolicy) Name() string { return "pause:" + p.Budget.String() }
+
+// Cut implements Policy.
+func (p PausePolicy) Cut(s CutStats) bool {
+	projected := s.DirtyBytes
+	if s.Since > 0 && s.Round > 0 {
+		projected += uint64(float64(s.DirtyBytes) * float64(s.Round) / float64(s.Since))
+	}
+	shards := s.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	return projected/uint64(shards) >= p.QuantumBytes
+}
+
 // ParsePolicy resolves the CLI spellings: "ops:N", "interval:DUR"
-// (Go duration syntax), "dirty:N" (bytes).
+// (Go duration syntax), "dirty:N" (bytes), "pause:DUR" (per-cut pause
+// budget; enables the incremental pipeline). All failures wrap
+// ErrBadPolicy.
 func ParsePolicy(spec string) (Policy, error) {
 	kind, arg, ok := strings.Cut(spec, ":")
 	if !ok {
-		return nil, fmt.Errorf("server: policy %q wants kind:arg", spec)
+		return nil, fmt.Errorf("%w: %q wants kind:arg", ErrBadPolicy, spec)
 	}
 	switch kind {
 	case "ops":
 		n, err := strconv.ParseUint(arg, 10, 64)
 		if err != nil || n == 0 {
-			return nil, fmt.Errorf("server: policy %q wants a positive op count", spec)
+			return nil, fmt.Errorf("%w: %q wants a positive op count", ErrBadPolicy, spec)
 		}
 		return OpsPolicy{Every: n}, nil
 	case "interval":
 		d, err := time.ParseDuration(arg)
 		if err != nil || d <= 0 {
-			return nil, fmt.Errorf("server: policy %q wants a positive duration", spec)
+			return nil, fmt.Errorf("%w: %q wants a positive duration", ErrBadPolicy, spec)
 		}
 		return IntervalPolicy{Every: d}, nil
 	case "dirty":
 		n, err := strconv.ParseUint(arg, 10, 64)
 		if err != nil || n == 0 {
-			return nil, fmt.Errorf("server: policy %q wants a positive byte count", spec)
+			return nil, fmt.Errorf("%w: %q wants a positive byte count", ErrBadPolicy, spec)
 		}
 		return DirtyBytesPolicy{Bytes: n}, nil
+	case "pause":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("%w: %q wants a positive pause budget", ErrBadPolicy, spec)
+		}
+		return NewPausePolicy(d), nil
 	default:
-		return nil, fmt.Errorf("server: unknown policy kind %q (ops, interval, dirty)", kind)
+		return nil, fmt.Errorf("%w: unknown kind %q (ops, interval, dirty, pause)", ErrBadPolicy, kind)
 	}
 }

@@ -56,6 +56,14 @@ type Config struct {
 	BatchOps int
 	// Policy decides cut points (default OpsPolicy{Every: 8192}).
 	Policy Policy
+	// StepBudget, when positive, enables the incremental cut pipeline:
+	// instead of a stop-the-world checkpoint, each cut drains through
+	// bounded quanta of StepBudget bytes interleaved between request
+	// batches, with acks group-committed at quantum boundaries. Zero
+	// keeps stop-the-world cuts (byte-identical to the pre-pipeline
+	// behavior) unless Policy is a PausePolicy, which defaults the
+	// budget to its quantum.
+	StepBudget int
 	// Seed drives every random stream via sched.SeedFor labels.
 	Seed int64
 	// Trace records per-shard spans and histograms into Result.Trace.
@@ -97,6 +105,14 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Policy == nil {
 		c.Policy = OpsPolicy{Every: 8192}
+	}
+	if c.StepBudget < 0 {
+		return c, fmt.Errorf("server: negative step budget %d", c.StepBudget)
+	}
+	if c.StepBudget == 0 {
+		if p, ok := c.Policy.(PausePolicy); ok {
+			c.StepBudget = int(p.QuantumBytes)
+		}
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -177,12 +193,13 @@ type ShardStats struct {
 	// SimPS is the shard's simulated clock at the end of serving.
 	SimPS int64
 	// Latency quantiles over acked requests, picoseconds.
-	P50LatPS, P99LatPS, MaxLatPS int64
+	P50LatPS, P99LatPS, P999LatPS, MaxLatPS int64
 	// Pause statistics over this shard's coordinated cuts (commit plus
-	// barrier wait), picoseconds.
-	PauseMeanPS, P99PausePS, PauseMaxPS int64
-	Crashed                             bool
-	CrashIndex                          int64
+	// barrier wait; under the incremental pipeline, every checkpoint
+	// quantum), picoseconds.
+	PauseMeanPS, P99PausePS, P999PausePS, PauseMaxPS int64
+	Crashed                                          bool
+	CrashIndex                                       int64
 }
 
 // Violation is one consistency failure found by verification.
@@ -205,8 +222,9 @@ type Result struct {
 	SimPS int64
 	// ThroughputOps is acked operations per simulated second.
 	ThroughputOps float64
-	// P99LatPS and MaxPausePS aggregate the worst shard.
+	// P99LatPS, P999LatPS, and MaxPausePS aggregate the worst shard.
 	P99LatPS   int64
+	P999LatPS  int64
 	MaxPausePS int64
 	// Recovery outcome for crashed runs.
 	Recovered      bool
@@ -362,6 +380,8 @@ func (s *Service) serve(c *mpi.Comm, sh *shard) error {
 	sh.primBase = sh.dev.PrimitiveCount()
 	my := s.streams[sh.id]
 	idx := 0
+	incremental := s.cfg.StepBudget > 0
+	cutting, committed := false, false
 	for b := 0; b < s.batches; b++ {
 		if !sh.inEpoch {
 			sh.rec.Begin("epoch")
@@ -374,20 +394,65 @@ func (s *Service) serve(c *mpi.Comm, sh *shard) error {
 			}
 			idx++
 		}
+		if cutting {
+			// An incremental cut is in flight: one bounded checkpoint
+			// quantum between request batches instead of a policy round.
+			var err error
+			cutting, committed, err = s.cutStep(c, sh, committed)
+			if err != nil {
+				return err
+			}
+			continue
+		}
 		// Policy round: the allreduces also align clocks, so Since is
 		// identical on every rank and the decision is global.
 		ops := c.AllreduceU64(sh.sinceCut, mpi.Sum)
-		dirty := c.AllreduceU64(sh.dirtyBlockBytes(), mpi.Sum)
-		since := time.Duration((sh.clock.NowPS() - sh.cutStartPS) / 1000)
-		if ops > 0 && s.cfg.Policy.Cut(CutStats{Ops: ops, DirtyBytes: dirty, Since: since}) {
-			if err := s.cut(c, sh); err != nil {
+		dirty := c.AllreduceU64(s.dirtyEstimate(sh), mpi.Sum)
+		now := sh.clock.NowPS()
+		since := time.Duration((now - sh.cutStartPS) / 1000)
+		round := time.Duration((now - sh.roundPS) / 1000)
+		sh.roundPS = now
+		if ops > 0 && s.cfg.Policy.Cut(CutStats{Ops: ops, DirtyBytes: dirty, Since: since, Round: round, Shards: s.cfg.Shards}) {
+			if !incremental {
+				if err := s.cut(c, sh); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := s.cutBegin(sh); err != nil {
 				return err
 			}
+			cutting, committed = true, false
+		}
+	}
+	// Drain an in-flight cut before closing out: the pipeline must be
+	// idle for end-of-run verification (and any final monolithic cut).
+	for cutting {
+		var err error
+		cutting, committed, err = s.cutStep(c, sh, committed)
+		if err != nil {
+			return err
 		}
 	}
 	if c.AllreduceU64(sh.sinceCut, mpi.Sum) > 0 {
-		if err := s.cut(c, sh); err != nil {
-			return err
+		if !incremental {
+			if err := s.cut(c, sh); err != nil {
+				return err
+			}
+		} else {
+			// Close out through the pipeline as well: the run's pause
+			// profile stays budgeted all the way to the last ack.
+			if err := s.cutBegin(sh); err != nil {
+				return err
+			}
+			cutting, committed = true, false
+			for cutting {
+				var err error
+				cutting, committed, err = s.cutStep(c, sh, committed)
+				if err != nil {
+					return err
+				}
+			}
 		}
 	} else {
 		c.Barrier() // align end-of-run clocks
@@ -423,15 +488,96 @@ func (s *Service) cut(c *mpi.Comm, sh *shard) error {
 		sh.rec.RecordEpoch(stats.Sub(sh.statsBase), pause)
 		sh.statsBase = stats
 	}
-	sh.pause.observe(pause)
-	sh.pauseTotalPS += pause
-	if pause > sh.pauseMaxPS {
-		sh.pauseMaxPS = pause
-	}
+	sh.observePause(pause)
 	sh.cuts++
 	sh.sinceCut = 0
 	sh.cutStartPS = sh.clock.NowPS()
+	sh.roundPS = sh.cutStartPS
 	return nil
+}
+
+// dirtyEstimate feeds the policy's DirtyBytes: the plain dirty-block
+// count for stop-the-world cuts (unchanged behavior), the exact pending
+// cut footprint when the incremental pipeline is on (a PausePolicy
+// budgets against it, and in buffered mode the two differ by the
+// pending replica blocks).
+func (s *Service) dirtyEstimate(sh *shard) uint64 {
+	if s.cfg.StepBudget > 0 {
+		return uint64(sh.ctr.PendingCutBytes())
+	}
+	return sh.dirtyBlockBytes()
+}
+
+// cutBegin opens an incremental cut: snapshot the shadow at the cut
+// boundary (exactly the image the cut will commit — stores that land
+// while the cut is in flight are diverted past it by the write barrier),
+// open the pipeline, and start deferring acks to quantum boundaries.
+// Purely local: every rank reached the identical policy decision, so no
+// coordination is needed until the first quantum's allreduce.
+func (s *Service) cutBegin(sh *shard) error {
+	sh.snapshotForNextCut()
+	t0 := sh.clock.NowPS()
+	sh.rec.Begin("ckpt-begin")
+	err := sh.ctr.CheckpointBegin()
+	sh.rec.End()
+	if err != nil {
+		return err
+	}
+	sh.observePause(sh.clock.NowPS() - t0)
+	sh.groupAck = true
+	sh.sinceCut = 0
+	return nil
+}
+
+// cutStep advances an in-flight incremental cut by one quantum and
+// handles its two global transitions: commit-plus-barrier once the flush
+// remainder reaches zero everywhere (the cut lands; epoch bookkeeping
+// happens here), and pipeline completion once the replay remainder does.
+// Returns the updated (cutting, committed) state.
+func (s *Service) cutStep(c *mpi.Comm, sh *shard, committed bool) (bool, bool, error) {
+	t0 := sh.clock.NowPS()
+	rem, err := sh.ctr.CheckpointStep(s.cfg.StepBudget)
+	if err != nil {
+		return false, false, err
+	}
+	if step := sh.clock.NowPS() - t0; step > 0 {
+		sh.observePause(step)
+		sh.rec.Observe("ckpt/step_ps", obs.StepBounds, step)
+	}
+	sh.releaseAcks()
+	if c.AllreduceU64(uint64(rem), mpi.Sum) > 0 {
+		return true, committed, nil
+	}
+	if !committed {
+		// Globally drained: flip the epoch, then barrier so every rank
+		// holds both epochs before any rank's replay may overwrite
+		// epoch e state (§3.6's commit-then-barrier, incrementally).
+		t1 := sh.clock.NowPS()
+		sh.rec.Begin("ckpt-pause")
+		if err := sh.ctr.CheckpointCommit(); err != nil {
+			return false, false, err
+		}
+		c.Barrier()
+		sh.rec.End()
+		pause := sh.clock.NowPS() - t1
+		sh.observePause(pause)
+		if sh.inEpoch {
+			sh.rec.End() // epoch
+			sh.inEpoch = false
+		}
+		if sh.rec.Enabled() {
+			stats := sh.dev.Stats()
+			sh.rec.RecordEpoch(stats.Sub(sh.statsBase), pause)
+			sh.statsBase = stats
+		}
+		sh.cuts++
+		sh.cutStartPS = sh.clock.NowPS()
+		sh.roundPS = sh.cutStartPS
+		return true, true, nil
+	}
+	// Replay drained everywhere: the pipeline is idle.
+	sh.groupAck = false
+	return false, false, nil
 }
 
 // crashPolicy resolves one shard's line fates at the global power
@@ -578,17 +724,19 @@ func (s *Service) liveness(res *Result) {
 func (s *Service) fillStats(res *Result) {
 	for _, sh := range s.shards {
 		st := ShardStats{
-			Shard:      sh.id,
-			Ops:        sh.acked,
-			Cuts:       sh.cuts,
-			SimPS:      sh.simEndPS,
-			P50LatPS:   sh.lat.quantile(0.50),
-			P99LatPS:   sh.lat.quantile(0.99),
-			MaxLatPS:   sh.lat.max,
-			P99PausePS: sh.pause.quantile(0.99),
-			PauseMaxPS: sh.pauseMaxPS,
-			Crashed:    sh.crashed,
-			CrashIndex: sh.crashIndex,
+			Shard:       sh.id,
+			Ops:         sh.acked,
+			Cuts:        sh.cuts,
+			SimPS:       sh.simEndPS,
+			P50LatPS:    sh.lat.quantile(0.50),
+			P99LatPS:    sh.lat.quantile(0.99),
+			P999LatPS:   sh.lat.quantile(0.999),
+			MaxLatPS:    sh.lat.max,
+			P99PausePS:  sh.pause.quantile(0.99),
+			P999PausePS: sh.pause.quantile(0.999),
+			PauseMaxPS:  sh.pauseMaxPS,
+			Crashed:     sh.crashed,
+			CrashIndex:  sh.crashIndex,
 		}
 		if sh.ctr != nil {
 			st.Epoch = sh.ctr.CommittedEpoch()
@@ -606,6 +754,9 @@ func (s *Service) fillStats(res *Result) {
 		}
 		if st.P99LatPS > res.P99LatPS {
 			res.P99LatPS = st.P99LatPS
+		}
+		if st.P999LatPS > res.P999LatPS {
+			res.P999LatPS = st.P999LatPS
 		}
 		if st.PauseMaxPS > res.MaxPausePS {
 			res.MaxPausePS = st.PauseMaxPS

@@ -56,9 +56,18 @@ type shard struct {
 	pause                    hist
 	pauseTotalPS, pauseMaxPS int64
 	cutStartPS               int64
-	statsBase                nvm.Stats
-	inEpoch                  bool
-	simEndPS                 int64
+	// roundPS is the aligned clock at the previous policy decision, the
+	// baseline for CutStats.Round.
+	roundPS   int64
+	statsBase nvm.Stats
+	inEpoch   bool
+	simEndPS  int64
+
+	// Group commit (incremental cuts): while groupAck is set, apply defers
+	// acks into pendAcks; releaseAcks acknowledges them after the next
+	// checkpoint quantum's fence, so per-op latency absorbs the fence wait.
+	groupAck bool
+	pendAcks []int64 // deferred request start times (simulated ps)
 
 	// primBase and primEnd bound the serving phase in device primitive
 	// indices: crash points in [primBase, primEnd) hit live request
@@ -178,12 +187,48 @@ func (sh *shard) apply(op workload.Op) error {
 	default:
 		return fmt.Errorf("server: shard %d: unknown op kind %v", sh.id, op.Kind)
 	}
+	if sh.groupAck {
+		sh.pendAcks = append(sh.pendAcks, t0)
+		return nil
+	}
 	lat := sh.clock.NowPS() - t0
 	sh.lat.observe(lat)
 	sh.rec.Observe("req-latency", latencyBounds, lat)
 	sh.acked++
 	sh.sinceCut++
 	return nil
+}
+
+// releaseAcks acknowledges every deferred request at the current clock —
+// called right after a checkpoint quantum's fence, the group-commit
+// point their durability rides on.
+func (sh *shard) releaseAcks() {
+	if len(sh.pendAcks) == 0 {
+		return
+	}
+	now := sh.clock.NowPS()
+	for _, t0 := range sh.pendAcks {
+		lat := now - t0
+		sh.lat.observe(lat)
+		sh.rec.Observe("req-latency", latencyBounds, lat)
+		sh.acked++
+		sh.sinceCut++
+	}
+	sh.pendAcks = sh.pendAcks[:0]
+}
+
+// observePause records one checkpoint-induced stall. Zero-cost pipeline
+// calls (an empty quantum, a free Begin) are not pauses and would skew
+// the quantiles toward zero, so they are skipped.
+func (sh *shard) observePause(ps int64) {
+	if ps <= 0 {
+		return
+	}
+	sh.pause.observe(ps)
+	sh.pauseTotalPS += ps
+	if ps > sh.pauseMaxPS {
+		sh.pauseMaxPS = ps
+	}
 }
 
 // snapshotForNextCut copies the shadow under the epoch the in-flight cut

@@ -2,6 +2,7 @@ package torture
 
 import (
 	"testing"
+	"time"
 
 	"libcrpm/internal/server"
 	"libcrpm/internal/workload"
@@ -30,6 +31,36 @@ func serviceBase() server.Config {
 func TestServiceSweep(t *testing.T) {
 	cfg := ServiceConfig{
 		Server:      serviceBase(),
+		CrashShards: []int{0, 2},
+		Policies:    append(StandardPolicies(7), AdversarialPolicy()),
+	}
+	res, err := ServiceSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replays == 0 {
+		t.Fatal("sweep ran no replays")
+	}
+	for combo, pts := range res.Points {
+		if pts < 8 {
+			t.Fatalf("combo %s tested only %d points", combo, pts)
+		}
+	}
+	if !res.OK() {
+		t.Fatalf("%d violations (of %d replays), first: %v", len(res.Violations), res.Replays, res.Violations[0])
+	}
+}
+
+// TestServiceSweepIncremental points the same sweep at the incremental cut
+// pipeline: under a pause policy most crash points land inside an in-flight
+// cut — mid-flush, between commit and replay, or mid-lift — and every one
+// must still recover to a consistent global epoch with all pre-cut acked
+// ops intact.
+func TestServiceSweepIncremental(t *testing.T) {
+	srv := serviceBase()
+	srv.Policy = server.NewPausePolicy(2 * time.Microsecond)
+	cfg := ServiceConfig{
+		Server:      srv,
 		CrashShards: []int{0, 2},
 		Policies:    append(StandardPolicies(7), AdversarialPolicy()),
 	}
