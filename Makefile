@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz torture serve results examples fmt vet clean
+.PHONY: all build test test-short race cover bench fuzz torture serve replica results examples fmt vet clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/mpi/ ./internal/apps/... ./internal/sched/ ./internal/server/ ./internal/torture/ .
+	$(GO) test -race ./internal/core/ ./internal/mpi/ ./internal/apps/... ./internal/sched/ ./internal/replica/ ./internal/server/ ./internal/torture/ .
 	$(GO) test -race -short ./internal/harness/
 
 cover:
@@ -42,6 +42,14 @@ torture:
 # checkpoints with full acked-op verification (see DESIGN.md §10).
 serve:
 	$(GO) run ./cmd/crpmserve -shards 4 -clients 8 -mix a -ops 1000000
+
+# Replication study: race-mode unit sweep over the replica/SLA/failover
+# surface, then a kill-primary smoke that crashes shard 1's primary
+# mid-serve and promotes its most-current secondary (see DESIGN.md §12).
+replica:
+	$(GO) test -race ./internal/replica/
+	$(GO) test -race -run 'Replica|SLA|Failover|AbortedIncrementalCut|KillPrimary' ./internal/server/ ./internal/mpi/ ./internal/torture/
+	$(GO) run ./cmd/crpmserve -shards 4 -clients 8 -mix b -ops 200000 -replicas 2 -sla mix -killprimary 1
 
 # Regenerate every table and figure of the paper's evaluation.
 results:

@@ -72,6 +72,7 @@ func experiments() []experiment {
 		{"table1a", "average checkpoint size per operation (Table 1a)", one(harness.Table1a)},
 		{"table1b", "sfence instructions per epoch (Table 1b)", one(harness.Table1b)},
 		{"service", "sharded KV service throughput and cut pause vs shard count, stop-the-world and incremental pause-budget cuts (extension)", one(harness.ServiceFigure)},
+		{"replica", "replicated service read throughput, staleness, and SLA-unmet fraction vs replica count x SLA (extension)", one(harness.ReplicaFigure)},
 		{"recovery", "LULESH recovery time (§5.5)", one(harness.RecoveryTime)},
 		{"pauses", "checkpoint pause-time distribution (extension)", one(harness.PauseTimes)},
 		{"storage", "storage cost of LULESH (§5.6)", one(harness.StorageCost)},

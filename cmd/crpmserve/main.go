@@ -9,6 +9,8 @@
 //	crpmserve -shards 4 -clients 8 -mix a -ops 1000000
 //	crpmserve -mix e -ds rbmap -policy interval:8ms -trace serve.trace.json
 //	crpmserve -shards 4 -clients 8 -mix a -ops 200000 -json serve.json
+//	crpmserve -replicas 2 -sla mix -mix b -ops 200000
+//	crpmserve -replicas 2 -sla bounded:2@1ms -killprimary 1
 //
 // All output on stdout (and in -json / -trace files) is a pure function of
 // the flags: timestamps are simulated picoseconds and streams are label-hash
@@ -19,6 +21,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +31,40 @@ import (
 	"libcrpm/internal/core"
 	"libcrpm/internal/harness"
 	"libcrpm/internal/obs"
+	"libcrpm/internal/replica"
 	"libcrpm/internal/server"
 	"libcrpm/internal/workload"
 )
+
+// ErrBadFlags wraps every replication flag rejection, so scripts (and the
+// tests) can distinguish a usage error from a run failure.
+var ErrBadFlags = errors.New("crpmserve: invalid flags")
+
+// validateReplFlags checks the replication flag set and resolves -sla.
+// Replication is strictly opt-in: -sla and -killprimary are meaningless
+// without secondaries to route to or promote, so they require -replicas.
+func validateReplFlags(replicas int, slaSpec string, killPrimary, shards int) ([]replica.SLA, error) {
+	if replicas < 0 {
+		return nil, fmt.Errorf("%w: -replicas %d is negative", ErrBadFlags, replicas)
+	}
+	if slaSpec != "" && replicas == 0 {
+		return nil, fmt.Errorf("%w: -sla %q requires -replicas > 0", ErrBadFlags, slaSpec)
+	}
+	if killPrimary >= 0 && replicas == 0 {
+		return nil, fmt.Errorf("%w: -killprimary requires -replicas > 0 (no secondary to promote)", ErrBadFlags)
+	}
+	if killPrimary >= shards {
+		return nil, fmt.Errorf("%w: -killprimary %d out of range (shards: %d)", ErrBadFlags, killPrimary, shards)
+	}
+	if slaSpec == "" {
+		return nil, nil
+	}
+	set, err := replica.ParseSet(slaSpec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFlags, err)
+	}
+	return set, nil
+}
 
 func main() { os.Exit(run()) }
 
@@ -51,6 +85,9 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "verification cells in flight (0 = GOMAXPROCS); never changes output bytes")
 	jsonPath := flag.String("json", "", "write per-shard and aggregate metrics (harness table schema) to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of per-shard spans to this file")
+	replicas := flag.Int("replicas", 0, "secondaries per shard, installing committed cut deltas asynchronously (0 = replication off)")
+	slaSpec := flag.String("sla", "", "read SLA set assigned round-robin to clients: mix | strong | rmw | monotonic | bounded:K | eventual, each with an optional @DUR latency target (requires -replicas)")
+	killPrimary := flag.Int("killprimary", -1, "crash this shard's primary mid-serve and fail over to its most-current secondary (requires -replicas)")
 	flag.Parse()
 
 	mix, err := workload.YCSBByName(*mixName)
@@ -83,6 +120,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "unknown structure %q (hashmap|rbmap)\n", *ds)
 		return 2
 	}
+	slas, err := validateReplFlags(*replicas, *slaSpec, *killPrimary, *shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	cfg := server.Config{
 		Shards:     *shards,
@@ -100,13 +142,32 @@ func run() int {
 		Seed:       *seed,
 		Parallel:   *parallel,
 		Trace:      *tracePath != "" || *jsonPath != "",
+		Replicas:   *replicas,
+		SLAs:       slas,
+	}
+	wallStart := time.Now()
+	if *killPrimary >= 0 {
+		// The kill point is the middle of the victim's serving span, so a
+		// reference run measures the span first. Both runs are pure
+		// functions of the flags; the failover line is too.
+		ref, err := server.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if _, err := ref.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		span := ref.PrimitiveSpans()[*killPrimary]
+		cfg.Crash = &server.CrashSpec{Shard: *killPrimary, At: span[0] + (span[1]-span[0])/2}
+		cfg.Liveness = true
 	}
 	svc, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	wallStart := time.Now()
 	res, err := svc.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -116,6 +177,10 @@ func run() int {
 
 	t := buildTable(cfg, *backend, *ds, res)
 	fmt.Println(t)
+	if res.FailedOver {
+		fmt.Printf("failover: shard %d promoted secondary %d at cut epoch %d (crash at primitive %d)\n",
+			res.CrashedShard, res.PromotedReplica, res.PromotedEpoch, cfg.Crash.At)
+	}
 	fmt.Fprintf(os.Stderr, "served %d ops on %d shards in %v wall\n", res.TotalOps, cfg.Shards, wall.Round(time.Millisecond))
 
 	if *jsonPath != "" {
@@ -149,10 +214,20 @@ func run() int {
 // value is simulated-clock derived, so the table (and the JSON built from
 // it) is byte-identical across runs and -parallel settings.
 func buildTable(cfg server.Config, backend, ds string, res *server.Result) harness.Table {
+	title := fmt.Sprintf("crpmserve: %d shards x %d clients, YCSB-%s, %s/%s, %s, %d ops",
+		cfg.Shards, cfg.Clients, cfg.Mix.Name, backend, ds, cfg.Policy.Name(), cfg.Ops)
+	if cfg.Replicas > 0 {
+		title += fmt.Sprintf(", %d replicas/shard", cfg.Replicas)
+	}
 	t := harness.Table{
-		Title: fmt.Sprintf("crpmserve: %d shards x %d clients, YCSB-%s, %s/%s, %s, %d ops",
-			cfg.Shards, cfg.Clients, cfg.Mix.Name, backend, ds, cfg.Policy.Name(), cfg.Ops),
+		Title:  title,
 		Header: []string{"shard", "ops", "cuts", "epoch", "sim-ms", "Mops/s", "p50-lat-us", "p99-lat-us", "p999-lat-us", "p99-pause-us", "p999-pause-us", "max-pause-us"},
+	}
+	// The replica columns (and metrics) exist only for replicated runs, so
+	// an unreplicated invocation's output is byte-identical to the
+	// replication-unaware tool's.
+	if cfg.Replicas > 0 {
+		t.Header = append(t.Header, "sec-reads", "unmet", "stale-mean", "p99-read-us")
 	}
 	ps2ms := func(ps int64) string { return fmt.Sprintf("%.3f", float64(ps)/1e9) }
 	ps2us := func(ps int64) string { return fmt.Sprintf("%.3f", float64(ps)/1e6) }
@@ -161,7 +236,7 @@ func buildTable(cfg server.Config, backend, ds string, res *server.Result) harne
 		if st.SimPS > 0 {
 			tput = float64(st.Ops) * 1e12 / float64(st.SimPS) / 1e6
 		}
-		t.Rows = append(t.Rows, []string{
+		row := []string{
 			fmt.Sprintf("%d", st.Shard),
 			fmt.Sprintf("%d", st.Ops),
 			fmt.Sprintf("%d", st.Cuts),
@@ -174,7 +249,7 @@ func buildTable(cfg server.Config, backend, ds string, res *server.Result) harne
 			ps2us(st.P99PausePS),
 			ps2us(st.P999PausePS),
 			ps2us(st.PauseMaxPS),
-		})
+		}
 		pfx := fmt.Sprintf("serve_shard%d_", st.Shard)
 		t.AddMetric(pfx+"ops", float64(st.Ops))
 		t.AddMetric(pfx+"cuts", float64(st.Cuts))
@@ -183,8 +258,21 @@ func buildTable(cfg server.Config, backend, ds string, res *server.Result) harne
 		t.AddMetric(pfx+"p999_lat_us", float64(st.P999LatPS)/1e6)
 		t.AddMetric(pfx+"p99_pause_us", float64(st.P99PausePS)/1e6)
 		t.AddMetric(pfx+"p999_pause_us", float64(st.P999PausePS)/1e6)
+		if cfg.Replicas > 0 {
+			row = append(row,
+				fmt.Sprintf("%d", st.SecReads),
+				fmt.Sprintf("%d", st.UnmetReads),
+				fmt.Sprintf("%.2f", st.StaleMeanEpochs),
+				ps2us(st.P99ReadLatPS),
+			)
+			t.AddMetric(pfx+"sec_reads", float64(st.SecReads))
+			t.AddMetric(pfx+"unmet_reads", float64(st.UnmetReads))
+			t.AddMetric(pfx+"stale_mean_epochs", st.StaleMeanEpochs)
+			t.AddMetric(pfx+"p99_read_lat_us", float64(st.P99ReadLatPS)/1e6)
+		}
+		t.Rows = append(t.Rows, row)
 	}
-	t.Rows = append(t.Rows, []string{
+	all := []string{
 		"all",
 		fmt.Sprintf("%d", res.TotalOps),
 		fmt.Sprintf("%d", res.Cuts),
@@ -192,7 +280,23 @@ func buildTable(cfg server.Config, backend, ds string, res *server.Result) harne
 		ps2ms(res.SimPS),
 		fmt.Sprintf("%.3f", res.ThroughputOps/1e6),
 		"", ps2us(res.P99LatPS), ps2us(res.P999LatPS), "", "", ps2us(res.MaxPausePS),
-	})
+	}
+	if cfg.Replicas > 0 {
+		all = append(all,
+			fmt.Sprintf("%d", res.SecReads),
+			fmt.Sprintf("%d", res.UnmetReads),
+			fmt.Sprintf("%.2f", res.StaleMeanEpochs),
+			"",
+		)
+		t.AddMetric("serve_sec_reads", float64(res.SecReads))
+		t.AddMetric("serve_unmet_reads", float64(res.UnmetReads))
+		t.AddMetric("serve_stale_mean_epochs", res.StaleMeanEpochs)
+		if res.FailedOver {
+			t.AddMetric("serve_promoted_replica", float64(res.PromotedReplica))
+			t.AddMetric("serve_promoted_epoch", float64(res.PromotedEpoch))
+		}
+	}
+	t.Rows = append(t.Rows, all)
 	t.AddMetric("serve_total_ops", float64(res.TotalOps))
 	t.AddMetric("serve_cuts", float64(res.Cuts))
 	t.AddMetric("serve_sim_ms", float64(res.SimPS)/1e9)

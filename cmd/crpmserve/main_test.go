@@ -1,0 +1,91 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"libcrpm/internal/replica"
+	"libcrpm/internal/server"
+	"libcrpm/internal/workload"
+)
+
+// TestValidateReplFlags is the satellite flag-validation contract: every
+// nonsense replication flag combination is rejected with ErrBadFlags, and
+// every valid one resolves.
+func TestValidateReplFlags(t *testing.T) {
+	bad := []struct {
+		name                   string
+		replicas, kill, shards int
+		sla                    string
+	}{
+		{"negative replicas", -1, -1, 4, ""},
+		{"sla without replicas", 0, -1, 4, "mix"},
+		{"killprimary without replicas", 0, 2, 4, ""},
+		{"killprimary out of range", 2, 4, 4, "mix"},
+		{"unknown sla", 2, -1, 4, "strongest"},
+		{"malformed bound", 2, -1, 4, "bounded:x"},
+		{"malformed latency", 2, -1, 4, "strong@fast"},
+	}
+	for _, c := range bad {
+		if _, err := validateReplFlags(c.replicas, c.sla, c.kill, c.shards); !errors.Is(err, ErrBadFlags) {
+			t.Fatalf("%s: err = %v, want ErrBadFlags", c.name, err)
+		}
+	}
+	if set, err := validateReplFlags(0, "", -1, 4); err != nil || set != nil {
+		t.Fatalf("replication off: %v, %v", set, err)
+	}
+	set, err := validateReplFlags(2, "mix", 1, 4)
+	if err != nil || len(set) != 5 {
+		t.Fatalf("valid flags: %v, %v", set, err)
+	}
+	set, err = validateReplFlags(1, "bounded:3@2us", -1, 2)
+	if err != nil || len(set) != 1 || set[0].Bound != 3 {
+		t.Fatalf("bounded spec: %v, %v", set, err)
+	}
+}
+
+// TestBuildTableReplicaColumns: the replica columns appear exactly when
+// replication is on, so unreplicated output stays byte-compatible.
+func TestBuildTableReplicaColumns(t *testing.T) {
+	cfg := server.Config{
+		Shards: 2, Clients: 2, Mix: workload.YCSBB, Ops: 2000, Keys: 500,
+		HeapSize: 1 << 20, Buckets: 1 << 9, BatchOps: 256,
+		Policy: server.OpsPolicy{Every: 512}, Seed: 3,
+	}
+	run := func(cfg server.Config) *server.Result {
+		svc, err := server.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := svc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK() {
+			t.Fatal(res.Violations[0])
+		}
+		return res
+	}
+	plain := buildTable(cfg, "default", "hashmap", run(cfg))
+	if got, want := len(plain.Header), 12; got != want {
+		t.Fatalf("unreplicated header has %d columns, want %d: %v", got, want, plain.Header)
+	}
+	if _, ok := plain.Metrics["serve_sec_reads"]; ok {
+		t.Fatal("unreplicated table has replica metrics")
+	}
+	rcfg := cfg
+	rcfg.Replicas = 2
+	rcfg.SLAs = replica.Mix()
+	repl := buildTable(rcfg, "default", "hashmap", run(rcfg))
+	if got, want := len(repl.Header), 16; got != want {
+		t.Fatalf("replicated header has %d columns, want %d: %v", got, want, repl.Header)
+	}
+	for _, row := range repl.Rows {
+		if len(row) != len(repl.Header) {
+			t.Fatalf("row width %d != header %d: %v", len(row), len(repl.Header), row)
+		}
+	}
+	if _, ok := repl.Metrics["serve_sec_reads"]; !ok {
+		t.Fatal("replicated table missing serve_sec_reads")
+	}
+}

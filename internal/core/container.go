@@ -431,6 +431,19 @@ func (c *Container) DirtyInfo() (segs, blocks int) {
 	return c.dirtySegs.Count(), c.dirtyBlocks.Count()
 }
 
+// DirtySegments returns the ascending indices of the main segments
+// modified in the current epoch — at a cut boundary, exactly the segments
+// whose committed images may differ from the previous cut's. Replication
+// captures these as the epoch's delta.
+func (c *Container) DirtySegments() []int {
+	if c.dirtySegs.Count() == 0 {
+		return nil
+	}
+	out := make([]int, 0, c.dirtySegs.Count())
+	c.dirtySegs.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
 // DRAMFootprint returns the volatile memory the container uses: the
 // buffered-mode working buffer plus the dirty bitmaps (§5.6).
 func (c *Container) DRAMFootprint() int {

@@ -522,6 +522,23 @@ func (c *Container) CheckpointInFlight() bool {
 	return c.inc != nil
 }
 
+// NextWriteEpoch returns the epoch a store issued now will commit in:
+// the live epoch, one past the committed cut — or one further while an
+// in-flight incremental cut has drawn its boundary but not yet committed,
+// since the write barrier diverts such stores past the cut. Session
+// layers use it to stamp each write with the cut that makes it durable.
+func (c *Container) NextWriteEpoch() uint64 {
+	if c.opts.Concurrent {
+		c.writeMu.Lock()
+		defer c.writeMu.Unlock()
+	}
+	e := c.meta.CommittedEpoch() + 1
+	if c.inc != nil && c.inc.phase == incFlush {
+		e++
+	}
+	return e
+}
+
 // PendingCutBytes is the flush/copy footprint a CheckpointBegin issued now
 // would capture — what a dirty-rate-adaptive cut policy budgets against.
 // Unlike DirtyInfo it counts the buffered mode's pending replica blocks,

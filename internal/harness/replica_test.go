@@ -1,0 +1,42 @@
+package harness
+
+import "testing"
+
+// TestReplicaFigureShape asserts the replication study's qualitative
+// claims: every cell runs consistently; strong clients never read stale
+// state (stale mean 0 at every replica count); and the eventual level
+// actually uses the secondaries, picking up nonzero offloaded reads.
+func TestReplicaFigureShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness experiment")
+	}
+	sc := testScale()
+	sc.Ops = 20_000
+	sc.Keys = 20_000
+	tb, err := ReplicaFigure(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 15 { // 5 SLAs x {tput, stale, unmet}
+		t.Fatalf("replica table has %d rows:\n%s", len(tb.Rows), tb)
+	}
+	for i, r := range tb.Rows {
+		if len(r) != len(tb.Header) {
+			t.Fatalf("row %d has %d cells, header %d:\n%s", i, len(r), len(tb.Header), tb)
+		}
+	}
+	for n := 1; n <= 3; n++ {
+		if v := tb.Metrics["replica_stale_mean_epochs/strong/"+string(rune('0'+n))]; v != 0 {
+			t.Fatalf("strong SLA reports stale mean %v at %d replicas", v, n)
+		}
+		if v := tb.Metrics["replica_sec_read_frac/strong/"+string(rune('0'+n))]; v != 0 {
+			t.Fatalf("strong SLA offloaded %v of reads to secondaries", v)
+		}
+	}
+	if v := tb.Metrics["replica_sec_read_frac/eventual/3"]; v <= 0 {
+		t.Fatalf("eventual SLA offloaded no reads at 3 replicas (frac %v)", v)
+	}
+	if v := tb.Metrics["replica_read_tput_mops/eventual/3"]; v <= 0 {
+		t.Fatalf("no read throughput at 3 replicas: %v", v)
+	}
+}

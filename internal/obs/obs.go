@@ -203,6 +203,11 @@ var PauseBounds = ExpBounds(1_000_000, 4, 12)
 // pause budgets still resolve.
 var StepBounds = ExpBounds(100_000, 4, 14)
 
+// StalenessBounds are the bucket upper bounds (committed epochs behind
+// the primary) of the per-replica staleness histogram; 0 is a replica
+// fully caught up at its last install.
+var StalenessBounds = []int64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
 // AmpBounds are the bucket upper bounds (percent) of the per-epoch media
 // write-amplification histogram: 100% is amplification-free.
 var AmpBounds = []int64{100, 125, 150, 200, 300, 400, 600, 800, 1200, 1600, 3200, 6400}

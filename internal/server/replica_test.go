@@ -1,0 +1,349 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"libcrpm/internal/core"
+	"libcrpm/internal/replica"
+	"libcrpm/internal/workload"
+)
+
+// replCfg is smallCfg with two secondaries per shard on the read-heavy
+// mix, so the optimizer has real routing choices to make.
+func replCfg() Config {
+	cfg := smallCfg()
+	cfg.Replicas = 2
+	cfg.Mix = workload.YCSBB
+	return cfg
+}
+
+// TestReplicatedCleanRun: a replicated run serves every op, routes a
+// meaningful share of reads to secondaries, and both the primary shadow
+// check and the per-secondary cut-image checks pass.
+func TestReplicatedCleanRun(t *testing.T) {
+	res := mustRun(t, replCfg())
+	if !res.OK() {
+		t.Fatalf("%d violations, first: %v", len(res.Violations), res.Violations[0])
+	}
+	if res.TotalOps != uint64(replCfg().Ops) {
+		t.Fatalf("acked %d of %d ops", res.TotalOps, replCfg().Ops)
+	}
+	if res.SecReads == 0 {
+		t.Fatal("no reads were served by secondaries")
+	}
+	var perShard uint64
+	for _, st := range res.Shards {
+		perShard += st.SecReads
+	}
+	if perShard != res.SecReads {
+		t.Fatalf("shard SecReads sum %d != aggregate %d", perShard, res.SecReads)
+	}
+}
+
+// TestReplicatedDeterminism: the replicated Result — routing decisions,
+// staleness accounting, audit trails — is byte-identical across
+// verification parallelism and repeated runs.
+func TestReplicatedDeterminism(t *testing.T) {
+	base := replCfg()
+	base.Audit = true
+	var results []*Result
+	for _, par := range []int{1, 8, 1} {
+		cfg := base
+		cfg.Parallel = par
+		results = append(results, mustRun(t, cfg))
+	}
+	for i, r := range results[1:] {
+		if !reflect.DeepEqual(results[0], r) {
+			t.Fatalf("run %d differs from run 0:\n%+v\nvs\n%+v", i+1, results[0], r)
+		}
+	}
+}
+
+// TestUnreplicatedRunHasNoReplicaArtifacts: with Replicas zero, every
+// replication output is absent — the run takes only the pre-replication
+// code paths.
+func TestUnreplicatedRunHasNoReplicaArtifacts(t *testing.T) {
+	res := mustRun(t, smallCfg())
+	if !res.OK() {
+		t.Fatal(res.Violations[0])
+	}
+	if res.SecReads != 0 || res.UnmetReads != 0 || res.StaleMeanEpochs != 0 {
+		t.Fatalf("replica accounting leaked into an unreplicated run: %+v", res)
+	}
+	if res.FailedOver || res.Reads != nil || res.Writes != nil {
+		t.Fatalf("replica artifacts leaked into an unreplicated run: %+v", res)
+	}
+	for _, st := range res.Shards {
+		if st.SecReads != 0 || st.UnmetReads != 0 || st.StaleMeanEpochs != 0 || st.P99ReadLatPS != 0 {
+			t.Fatalf("shard %d has replica stats in an unreplicated run: %+v", st.Shard, st)
+		}
+	}
+}
+
+// TestSLAProperties replays the audit trail against each level's formal
+// guarantee: strong reads never leave the primary, read-my-writes views
+// cover the client's last commit, monotonic views never regress, and
+// bounded-staleness views never trail beyond the bound.
+func TestSLAProperties(t *testing.T) {
+	cfg := replCfg()
+	cfg.Replicas = 3
+	cfg.Audit = true
+	res := mustRun(t, cfg)
+	if !res.OK() {
+		t.Fatal(res.Violations[0])
+	}
+	if len(res.Reads) == 0 || len(res.Writes) == 0 {
+		t.Fatalf("audit trail empty: %d reads, %d writes", len(res.Reads), len(res.Writes))
+	}
+	type key struct{ client, shard int }
+	lastWrite := make(map[key]uint64) // client's newest commit epoch per shard
+	lastView := make(map[key]uint64)  // client's newest observed view per shard
+	secServed := 0
+	wi := 0
+	for _, r := range res.Reads {
+		// Fold in every write that precedes this read in the global order.
+		for wi < len(res.Writes) && res.Writes[wi].Seq < r.Seq {
+			w := res.Writes[wi]
+			lastWrite[key{w.Client, w.Shard}] = w.CommitEpoch
+			wi++
+		}
+		sla, err := replica.Parse(r.SLA)
+		if err != nil {
+			t.Fatalf("audit SLA %q does not parse: %v", r.SLA, err)
+		}
+		k := key{r.Client, r.Shard}
+		switch sla.Level {
+		case replica.Strong:
+			if r.Sec != -1 {
+				t.Fatalf("strong read seq %d served by secondary %d", r.Seq, r.Sec)
+			}
+		case replica.ReadMyWrites:
+			if r.View < lastWrite[k] {
+				t.Fatalf("rmw read seq %d: view %d below client %d's last commit %d on shard %d",
+					r.Seq, r.View, r.Client, lastWrite[k], r.Shard)
+			}
+		case replica.BoundedStaleness:
+			if r.Staleness > sla.Bound {
+				t.Fatalf("bounded read seq %d: staleness %d exceeds bound %d", r.Seq, r.Staleness, sla.Bound)
+			}
+		}
+		// Only the monotonic level promises non-regressing views: rmw may
+		// legitimately drop back to any view covering the client's writes.
+		if sla.Level == replica.Monotonic && r.View < lastView[k] {
+			t.Fatalf("read seq %d (%s): view %d below client %d's floor %d on shard %d",
+				r.Seq, r.SLA, r.View, r.Client, lastView[k], r.Shard)
+		}
+		if r.View > lastView[k] {
+			lastView[k] = r.View
+		}
+		if r.Sec >= 0 {
+			secServed++
+		}
+	}
+	if secServed == 0 {
+		t.Fatal("SLA mix never routed a read to a secondary; the properties were tested vacuously")
+	}
+}
+
+// TestSLALatencyUnmetDegradesToPrimary: an unmeetable latency target
+// degrades every read to the primary, flagged — never to a cheaper,
+// less-consistent replica.
+func TestSLALatencyUnmetDegradesToPrimary(t *testing.T) {
+	cfg := replCfg()
+	cfg.Audit = true
+	cfg.SLAs = []replica.SLA{{Level: replica.Eventual, LatencyPS: 1}}
+	res := mustRun(t, cfg)
+	if !res.OK() {
+		t.Fatal(res.Violations[0])
+	}
+	if res.SecReads != 0 {
+		t.Fatalf("%d reads left the primary under an unmeetable latency target", res.SecReads)
+	}
+	if res.UnmetReads == 0 || res.UnmetReads != uint64(len(res.Reads)) {
+		t.Fatalf("UnmetReads = %d, want every one of the %d reads", res.UnmetReads, len(res.Reads))
+	}
+	for _, r := range res.Reads {
+		if r.Sec != -1 || !r.Unmet {
+			t.Fatalf("read seq %d: %+v, want degraded primary", r.Seq, r)
+		}
+	}
+}
+
+// TestReplicatedScanFallsBackToPrimary: the scan-heavy mix under
+// replication must stay consistent even though secondaries can serve
+// scans only when the backend supports them faithfully.
+func TestReplicatedScanFallsBackToPrimary(t *testing.T) {
+	cfg := replCfg()
+	cfg.Mix = workload.YCSBE
+	cfg.Ops = 3000
+	res := mustRun(t, cfg)
+	if !res.OK() {
+		t.Fatal(res.Violations[0])
+	}
+}
+
+// TestFailoverPromotesReplica is the kill-primary contract: crashes
+// strided across two shards' serving spans must each fail over to the
+// most-current secondary, flip routing at a cut boundary, land every
+// survivor on the same epoch, and lose or double-apply nothing that was
+// acked across a cut.
+func TestFailoverPromotesReplica(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeDefault, core.ModeBuffered} {
+		cfg := replCfg()
+		cfg.Ops = 3000
+		cfg.Mode = mode
+		cfg.Liveness = true
+		ref, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Run(); err != nil {
+			t.Fatal(err)
+		}
+		spans := ref.PrimitiveSpans()
+		for _, shard := range []int{0, 2} {
+			base, end := spans[shard][0], spans[shard][1]
+			if end <= base {
+				t.Fatalf("mode %v shard %d: empty serving span [%d,%d)", mode, shard, base, end)
+			}
+			for _, at := range []int64{base + 1, base + (end-base)/3, base + (end-base)/2, end - 1} {
+				ccfg := cfg
+				ccfg.Crash = &CrashSpec{Shard: shard, At: at}
+				res := mustRun(t, ccfg)
+				if res.CrashedShard != shard {
+					t.Fatalf("mode %v: crash at %d reported on shard %d, want %d", mode, at, res.CrashedShard, shard)
+				}
+				if !res.FailedOver || !res.Recovered {
+					t.Fatalf("mode %v shard %d at %d: no failover: %v", mode, shard, at, res.Violations)
+				}
+				if !res.OK() {
+					t.Fatalf("mode %v shard %d at %d: %d violations, first: %v",
+						mode, shard, at, len(res.Violations), res.Violations[0])
+				}
+				if res.PromotedEpoch != res.RecoveredEpoch {
+					t.Fatalf("mode %v shard %d at %d: promoted to epoch %d, world landed on %d",
+						mode, shard, at, res.PromotedEpoch, res.RecoveredEpoch)
+				}
+				if res.PromotedReplica < 0 || res.PromotedReplica >= cfg.Replicas {
+					t.Fatalf("mode %v shard %d at %d: promoted replica %d out of range", mode, shard, at, res.PromotedReplica)
+				}
+				if res.RecoveredEpoch < 1 {
+					t.Fatalf("mode %v shard %d at %d: landed on epoch %d before the populate cut",
+						mode, shard, at, res.RecoveredEpoch)
+				}
+			}
+		}
+	}
+}
+
+// TestFailoverRoutingFlip: after a failover the router records exactly
+// one promotion — the crashed shard's — at the landing epoch.
+func TestFailoverRoutingFlip(t *testing.T) {
+	cfg := replCfg()
+	cfg.Ops = 2000
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spans := svc.PrimitiveSpans()
+	at := spans[1][0] + (spans[1][1]-spans[1][0])/2
+	cfg.Crash = &CrashSpec{Shard: 1, At: at}
+	svc, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || !res.FailedOver {
+		t.Fatalf("failover failed: %+v", res.Violations)
+	}
+	p, ok := svc.router.Promoted(1)
+	if !ok || p.Sec != res.PromotedReplica || p.Epoch != res.PromotedEpoch {
+		t.Fatalf("router promotion = %+v, %v; want {%d %d}", p, ok, res.PromotedReplica, res.PromotedEpoch)
+	}
+	for _, sh := range []int{0, 2, 3} {
+		if _, ok := svc.router.Promoted(sh); ok {
+			t.Fatalf("healthy shard %d has a recorded promotion", sh)
+		}
+	}
+}
+
+// TestFailoverDeterminism: the same kill-primary point yields the same
+// Result — promotion choice included — on every run.
+func TestFailoverDeterminism(t *testing.T) {
+	cfg := replCfg()
+	cfg.Ops = 2000
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spans := ref.PrimitiveSpans()
+	at := spans[1][0] + (spans[1][1]-spans[1][0])/2
+	cfg.Crash = &CrashSpec{Shard: 1, At: at}
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("failover runs differ:\n%+v\nvs\n%+v", a, b)
+	}
+	if !a.FailedOver {
+		t.Fatal("crash point did not exercise failover")
+	}
+}
+
+// TestFailoverDuringIncrementalCut: kill-primary points under the pause
+// policy land inside in-flight cuts; the aborted cut's delta must never
+// reach a secondary, and failover still converges.
+func TestFailoverDuringIncrementalCut(t *testing.T) {
+	cfg := incCfg()
+	cfg.Replicas = 2
+	cfg.Ops = 3000
+	cfg.Liveness = true
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spans := ref.PrimitiveSpans()
+	for _, shard := range []int{0, 2} {
+		base, end := spans[shard][0], spans[shard][1]
+		for _, at := range []int64{base + 1, base + (end-base)/3, base + (end-base)/2, base + 2*(end-base)/3, end - 1} {
+			ccfg := cfg
+			ccfg.Crash = &CrashSpec{Shard: shard, At: at}
+			res := mustRun(t, ccfg)
+			if !res.FailedOver || !res.Recovered {
+				t.Fatalf("shard %d at %d: no failover: %v", shard, at, res.Violations)
+			}
+			if !res.OK() {
+				t.Fatalf("shard %d at %d: %d violations, first: %v",
+					shard, at, len(res.Violations), res.Violations[0])
+			}
+		}
+	}
+}
+
+// TestReplicatedTraceTracks: tracing a replicated run adds one track per
+// secondary alongside each shard's.
+func TestReplicatedTraceTracks(t *testing.T) {
+	cfg := replCfg()
+	cfg.Ops = 1500
+	cfg.Trace = true
+	res := mustRun(t, cfg)
+	if !res.OK() {
+		t.Fatal(res.Violations[0])
+	}
+	want := cfg.Shards * (1 + cfg.Replicas)
+	if res.Trace == nil || len(res.Trace.Tracks) != want {
+		t.Fatalf("trace has %d tracks, want %d", len(res.Trace.Tracks), want)
+	}
+}

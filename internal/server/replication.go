@@ -1,0 +1,437 @@
+package server
+
+import (
+	"fmt"
+
+	"libcrpm/internal/alloc"
+	"libcrpm/internal/core"
+	"libcrpm/internal/heap"
+	"libcrpm/internal/mpi"
+	"libcrpm/internal/obs"
+	"libcrpm/internal/pds"
+	"libcrpm/internal/replica"
+	"libcrpm/internal/sched"
+	"libcrpm/internal/workload"
+)
+
+// shipBytesBounds buckets per-cut delta payloads (bytes, 4 KB up).
+var shipBytesBounds = obs.ExpBounds(4096, 4, 12)
+
+// ReadAudit records one routed read (Config.Audit): which replica served
+// it, the view epoch it observed, and whether the SLA degraded. Property
+// tests replay per-client histories from these.
+type ReadAudit struct {
+	Seq    int
+	Client int
+	Shard  int
+	// SLA is the client's SLA in replica.Parse syntax.
+	SLA string
+	// Sec is the serving secondary, -1 for the primary.
+	Sec       int
+	View      uint64
+	Staleness uint64
+	Unmet     bool
+}
+
+// WriteAudit records one primary mutation (Config.Audit) and the cut
+// epoch that makes it durable — the floor any later read-my-writes read
+// by the same client must observe.
+type WriteAudit struct {
+	Seq         int
+	Client      int
+	Shard       int
+	CommitEpoch uint64
+}
+
+// initReplicas builds a shard's replica group and the volatile SLA-layer
+// bookkeeping. Secondary devices run their own clocks; nothing here
+// touches the primary's device, so its primitive stream — and with it
+// every crash-injection point — is independent of the replica count.
+func (s *Service) initReplicas(sh *shard) error {
+	g, err := replica.NewGroup(sh.id, replica.Config{
+		Replicas:   s.cfg.Replicas,
+		Opts:       s.opts,
+		DeviceSize: s.deviceSize,
+		Trace:      s.cfg.Trace,
+	})
+	if err != nil {
+		return err
+	}
+	sh.reps = g
+	sh.secKV = make([]pds.KV, g.Len())
+	sh.cstate = make([]replica.ClientState, s.cfg.Clients)
+	sh.readLat = newHist(latencyBounds)
+	sh.stale = newHist(obs.StalenessBounds)
+	return nil
+}
+
+// captureDelta snapshots the epoch's dirty segment images at the cut
+// boundary. Pure DRAM copies off the working image: no device primitives
+// run and no simulated time passes, so crash points and clocks are
+// exactly those of an unreplicated run.
+func (sh *shard) captureDelta() *replica.Delta {
+	l := sh.ctr.Layout()
+	segs := sh.ctr.DirtySegments()
+	heapImg := sh.ctr.Bytes()
+	d := &replica.Delta{
+		Epoch:  sh.ctr.CommittedEpoch() + 1,
+		Segs:   segs,
+		Images: make([][]byte, len(segs)),
+	}
+	for i, seg := range segs {
+		img := make([]byte, l.SegSize)
+		copy(img, heapImg[seg*l.SegSize:(seg+1)*l.SegSize])
+		d.Images[i] = img
+		d.Bytes += l.SegSize
+	}
+	return d
+}
+
+// shipDelta pushes a committed cut's delta to the shard's secondaries.
+func (sh *shard) shipDelta(d *replica.Delta) {
+	sh.reps.Ship(d, sh.clock.NowPS())
+	sh.rec.Observe("replica/ship_bytes", shipBytesBounds, int64(d.Bytes))
+}
+
+// secondaryKV lazily opens a read handle over a secondary's container.
+// Valid once the replica has installed the populate cut (the optimizer
+// never routes to a replica before that); the handle reads every node
+// through heap offsets, so later delta installs never invalidate it.
+func (sh *shard) secondaryKV(i int) (pds.KV, error) {
+	if sh.secKV[i] != nil {
+		return sh.secKV[i], nil
+	}
+	sec := sh.reps.Sec(i)
+	a, err := alloc.Open(heap.New(sec.Container()))
+	if err != nil {
+		return nil, fmt.Errorf("server: shard %d replica %d allocator: %w", sh.id, i, err)
+	}
+	root := int(a.Root(kvRootSlot))
+	var kv pds.KV
+	switch sh.ds {
+	case DSHashMap:
+		kv, err = pds.OpenHashMap(a, root)
+	case DSRBMap:
+		kv, err = pds.OpenRBMap(a, root)
+	default:
+		err = fmt.Errorf("unknown structure %q", sh.ds)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: shard %d replica %d KV: %w", sh.id, i, err)
+	}
+	sh.secKV[i] = kv
+	return kv, nil
+}
+
+// applySLA executes one request under replication. Mutations run on the
+// primary exactly as without replication, stamped with the cut epoch that
+// will make them durable; reads go through the Pileus optimizer and may
+// be served — and verified online — by a secondary.
+func (s *Service) applySLA(sh *shard, seq int, op workload.Op) error {
+	client := seq % s.cfg.Clients
+	cs := &sh.cstate[client]
+	switch op.Kind {
+	case workload.OpRead, workload.OpScan:
+		return s.applyRead(sh, seq, client, cs, op)
+	}
+	next := sh.ctr.NextWriteEpoch()
+	if err := sh.apply(op); err != nil {
+		return err
+	}
+	cs.WriteEpoch = next
+	if op.Kind == workload.OpRMW {
+		// The read-modify-write observed the primary's live state, which
+		// commits no later than the cut the write rides.
+		cs.ObserveRead(next)
+	}
+	if s.cfg.Audit {
+		sh.writes = append(sh.writes, WriteAudit{Seq: seq, Client: client, Shard: sh.id, CommitEpoch: next})
+	}
+	return nil
+}
+
+// applyRead routes one read by the client's SLA, serves it, and verifies
+// any secondary-served value against the cut snapshot of the view the
+// replica claims. Reads carry no durability, so they acknowledge
+// immediately even while a cut is group-committing writes.
+func (s *Service) applyRead(sh *shard, seq, client int, cs *replica.ClientState, op workload.Op) error {
+	sla := s.cfg.SLAs[client%len(s.cfg.SLAs)]
+	committed := sh.ctr.CommittedEpoch()
+	live := sh.ctr.NextWriteEpoch()
+	plan := sh.reps.Plan(sla, *cs, committed, live)
+	if plan.Sec >= 0 && op.Kind == workload.OpScan {
+		kv, err := sh.secondaryKV(plan.Sec)
+		if err != nil {
+			return err
+		}
+		if pds.Supports(kv, pds.OpScan) != nil {
+			// The replica's backend cannot execute scans faithfully; this
+			// is a capability gap, not an SLA miss — serve the primary.
+			plan = replica.Plan{Sec: -1, View: live, RTTPS: sh.reps.PrimaryRTTPS()}
+		}
+	}
+	var lat int64
+	if plan.Sec < 0 {
+		t0 := sh.clock.NowPS()
+		switch op.Kind {
+		case workload.OpRead:
+			sh.kv.Get(op.Key)
+		case workload.OpScan:
+			sh.kv.Scan(op.Key, op.ScanLen)
+		}
+		lat = (sh.clock.NowPS() - t0) + plan.RTTPS
+	} else {
+		kv, err := sh.secondaryKV(plan.Sec)
+		if err != nil {
+			return err
+		}
+		clk := sh.reps.Sec(plan.Sec).Clock()
+		t0 := clk.NowPS()
+		switch op.Kind {
+		case workload.OpRead:
+			v, ok := kv.Get(op.Key)
+			sh.checkSecondaryRead(plan, op.Key, v, ok)
+		case workload.OpScan:
+			kv.Scan(op.Key, op.ScanLen)
+		}
+		lat = (clk.NowPS() - t0) + plan.RTTPS
+		sh.secReads++
+		sh.staleSum += plan.Staleness
+		sh.stale.observe(int64(plan.Staleness))
+		sh.rec.Observe("replica/staleness_epochs", obs.StalenessBounds, int64(plan.Staleness))
+		if sla.Level == replica.BoundedStaleness && plan.Staleness > sla.Bound {
+			sh.repViol = append(sh.repViol, fmt.Sprintf(
+				"read seq %d: staleness %d exceeds bound %d", seq, plan.Staleness, sla.Bound))
+		}
+	}
+	if plan.Unmet {
+		sh.unmetReads++
+	}
+	cs.ObserveRead(plan.View)
+	sh.readLat.observe(lat)
+	sh.lat.observe(lat)
+	sh.rec.Observe("req-latency", latencyBounds, lat)
+	sh.acked++
+	sh.sinceCut++
+	if s.cfg.Audit {
+		sh.reads = append(sh.reads, ReadAudit{
+			Seq: seq, Client: client, Shard: sh.id, SLA: sla.Name(),
+			Sec: plan.Sec, View: plan.View, Staleness: plan.Staleness, Unmet: plan.Unmet,
+		})
+	}
+	return nil
+}
+
+// checkSecondaryRead verifies a secondary-served value against the cut
+// snapshot of the view the plan claims — the exactness half of the SLA
+// guarantees: a view of epoch e means exactly cut e's state, never a torn
+// or in-between image.
+func (sh *shard) checkSecondaryRead(plan replica.Plan, key, v uint64, ok bool) {
+	want, have := sh.snaps[plan.View]
+	if !have {
+		sh.repViol = append(sh.repViol, fmt.Sprintf(
+			"replica %d served view %d with no retained snapshot", plan.Sec, plan.View))
+		return
+	}
+	wv, wok := want[key]
+	if ok != wok || (ok && v != wv) {
+		sh.repViol = append(sh.repViol, fmt.Sprintf(
+			"replica %d view %d key %d: got %d,%v want %d,%v", plan.Sec, plan.View, key, v, ok, wv, wok))
+	}
+}
+
+// verifyReplicas runs the end-of-run replica checks: online verification
+// failures collected while serving, plus a full comparison of every
+// quiesced secondary against the snapshot of its installed epoch.
+func (sh *shard) verifyReplicas() []string {
+	if sh.reps == nil {
+		return nil
+	}
+	bad := append([]string(nil), sh.repViol...)
+	for i := 0; i < sh.reps.Len(); i++ {
+		sec := sh.reps.Sec(i)
+		if sec.Disabled() {
+			continue
+		}
+		if sec.Installed() == 0 {
+			bad = append(bad, fmt.Sprintf("replica %d never installed a cut", i))
+			continue
+		}
+		want, have := sh.snaps[sec.Installed()]
+		if !have {
+			bad = append(bad, fmt.Sprintf("replica %d at epoch %d: no retained snapshot", i, sec.Installed()))
+			continue
+		}
+		kv, err := sh.secondaryKV(i)
+		if err != nil {
+			bad = append(bad, err.Error())
+			continue
+		}
+		for _, d := range verifyKV(kv, want) {
+			bad = append(bad, fmt.Sprintf("replica %d: %s", i, d))
+		}
+	}
+	return bad
+}
+
+// adoptReplica flips the shard's serving node to a promoted secondary:
+// the replica's clock and container become the shard's. The old device is
+// lost with the crashed node and never touched again.
+func (sh *shard) adoptReplica(sec *replica.Secondary) {
+	sh.clock = sec.Clock()
+	sh.ctr = sec.Container()
+}
+
+// failover models losing the crashed shard's node outright and restoring
+// service from its replica set. The outage is global, so the surviving
+// shards power-fail and reopen from their own devices exactly as in
+// recoverAll; the lost shard is instead represented by a Promotion of its
+// most-current secondary. All ranks then run the unmodified coordinated
+// recovery protocol — the promotion is just another mpi.Recoverable — and
+// agree on a landing epoch; the routing flip to the promoted replica is
+// recorded atomically at that cut boundary, and every shard is verified
+// against the landing epoch's snapshot: zero acked-across-a-cut ops lost,
+// zero applied twice.
+func (s *Service) failover(res *Result) {
+	crashed := res.CrashedShard
+	n := len(s.shards)
+	for _, sh := range s.shards {
+		if sh.id != crashed {
+			sh.dev.CrashWith(s.crashPolicy(sh.id))
+		}
+	}
+	ctrs := make([]*core.Container, n)
+	rerrs := make([]error, n)
+	proms := make([]*replica.Promotion, n)
+	w := mpi.NewWorld(n)
+	w.Run(func(c *mpi.Comm) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(mpi.Aborted); !ok {
+					panic(r)
+				}
+			}
+		}()
+		rank := c.Rank()
+		sh := s.shards[rank]
+		var rec mpi.Recoverable
+		var frec *obs.Recorder
+		if rank == crashed {
+			prom, err := sh.reps.Promotion()
+			if err != nil {
+				rerrs[rank] = err
+				c.Abort()
+				return
+			}
+			proms[rank] = prom
+			c.AttachClock(prom.Secondary().Clock())
+			rec, frec = prom, prom.Secondary().Recorder()
+		} else {
+			c.AttachClock(sh.clock)
+			ctr, err := core.OpenContainerDeferRecovery(sh.dev, s.opts)
+			if err != nil {
+				rerrs[rank] = fmt.Errorf("reopen: %w", err)
+				c.Abort()
+				return
+			}
+			ctrs[rank] = ctr
+			rec, frec = ctr, sh.rec
+		}
+		frec.Begin("failover")
+		err := mpi.Recover(c, rec)
+		frec.End()
+		if err != nil {
+			rerrs[rank] = fmt.Errorf("recover: %w", err)
+			c.Abort()
+			return
+		}
+		// Publish the promotion so every node flips its routing to the
+		// same replica at the same cut boundary, and check the agreement
+		// while still inside the world: every survivor must have landed
+		// exactly on the epoch the promoted replica resumed from.
+		var id, at uint64
+		if rank == crashed {
+			id = uint64(proms[rank].Secondary().ID())
+			at = proms[rank].Secondary().Installed()
+		}
+		id = c.BcastU64(crashed, id)
+		at = c.BcastU64(crashed, at)
+		if rank != crashed && ctrs[rank].CommittedEpoch() != at {
+			rerrs[rank] = fmt.Errorf("recover: landed on epoch %d, promoted replica %d announced %d",
+				ctrs[rank].CommittedEpoch(), id, at)
+			c.Abort()
+		}
+	})
+	for i, err := range rerrs {
+		if err != nil {
+			res.Violations = append(res.Violations, Violation{Shard: i, Stage: "recover", Detail: err.Error()})
+		}
+	}
+	if len(res.Violations) > 0 {
+		return
+	}
+	prom := proms[crashed]
+	if prom == nil {
+		res.Violations = append(res.Violations, Violation{Shard: crashed, Stage: "recover", Detail: "promotion never completed"})
+		return
+	}
+	land := prom.Secondary().Installed()
+	for i, ctr := range ctrs {
+		if i == crashed {
+			continue
+		}
+		if ctr == nil {
+			res.Violations = append(res.Violations, Violation{Shard: i, Stage: "recover", Detail: "recovery aborted"})
+			continue
+		}
+		if e := ctr.CommittedEpoch(); e != land {
+			res.Violations = append(res.Violations, Violation{
+				Shard: i, Stage: "epoch",
+				Detail: fmt.Sprintf("recovered to epoch %d, promoted replica to %d", e, land),
+			})
+		}
+	}
+	if len(res.Violations) > 0 {
+		return
+	}
+	res.Recovered, res.RecoveredEpoch = true, land
+	res.FailedOver = true
+	res.PromotedReplica = prom.Secondary().ID()
+	res.PromotedEpoch = land
+	s.router.Promote(crashed, prom.Secondary().ID(), land)
+	s.shards[crashed].adoptReplica(prom.Secondary())
+	for _, sh := range s.shards {
+		// Cuts beyond the landing epoch never globally committed: drop
+		// them from every receive buffer, and quarantine any survivor's
+		// secondary that had already installed ahead of the landing.
+		sh.reps.DropAbove(land)
+	}
+	if land == 0 {
+		// Lost the shard before the populate cut committed anywhere:
+		// nothing was ever acked across a cut, nothing to verify.
+		return
+	}
+	vs := sched.Map(n, sched.Options{Workers: s.cfg.Parallel}, func(i int) []string {
+		sh := s.shards[i]
+		ctr := ctrs[i]
+		if i == crashed {
+			ctr = sh.ctr // the adopted replica's container
+		}
+		if err := sh.reattach(ctr, s.cfg.DS); err != nil {
+			return []string{err.Error()}
+		}
+		want, ok := sh.snaps[land]
+		if !ok {
+			return []string{fmt.Sprintf("no shadow snapshot for landing epoch %d", land)}
+		}
+		return sh.verify(want)
+	})
+	for i, bad := range vs {
+		for _, d := range bad {
+			res.Violations = append(res.Violations, Violation{Shard: i, Stage: "verify", Detail: d})
+		}
+	}
+	if len(res.Violations) == 0 && s.cfg.Liveness {
+		s.liveness(res)
+	}
+}

@@ -22,8 +22,21 @@ import "fmt"
 // owning the start key and read only that shard's partition — a
 // documented limitation; cross-shard merge scans would need a scatter
 // phase the service does not implement.
+//
+// Under replication the key→shard map never changes; what a failover
+// flips is which node serves a shard. Promote records that flip, pinned
+// to the cut boundary the promoted replica resumed from, so clients (and
+// tests) can observe exactly one atomic routing change per failover.
 type Router struct {
-	n int
+	n        int
+	promoted map[int]Promotion
+}
+
+// Promotion is one recorded failover flip: shard's reads and writes are
+// now served by replica Sec, resumed from committed epoch Epoch.
+type Promotion struct {
+	Sec   int
+	Epoch uint64
 }
 
 // NewRouter builds a router over n shards.
@@ -32,6 +45,21 @@ func NewRouter(shards int) *Router {
 		panic(fmt.Sprintf("server: router over %d shards", shards))
 	}
 	return &Router{n: shards}
+}
+
+// Promote atomically flips a shard's serving node to a promoted replica
+// at a cut boundary. A shard fails over at most once per run.
+func (r *Router) Promote(shard, sec int, epoch uint64) {
+	if r.promoted == nil {
+		r.promoted = make(map[int]Promotion)
+	}
+	r.promoted[shard] = Promotion{Sec: sec, Epoch: epoch}
+}
+
+// Promoted reports a shard's recorded failover flip, if any.
+func (r *Router) Promoted(shard int) (Promotion, bool) {
+	p, ok := r.promoted[shard]
+	return p, ok
 }
 
 // Shards returns the shard count.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"libcrpm/internal/core"
@@ -11,6 +12,7 @@ import (
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/obs"
 	"libcrpm/internal/region"
+	"libcrpm/internal/replica"
 	"libcrpm/internal/sched"
 	"libcrpm/internal/workload"
 )
@@ -76,6 +78,20 @@ type Config struct {
 	Liveness bool
 	// Crash, if non-nil, injects a power failure and runs recovery.
 	Crash *CrashSpec
+	// Replicas gives every shard this many secondaries, each installing
+	// the primary's cut deltas asynchronously; reads are routed through
+	// the Pileus SLA layer and a crashed shard fails over to its
+	// most-current secondary instead of restarting from its own device.
+	// Zero disables replication entirely: every replica code path is
+	// skipped and all outputs are byte-identical to a replica-free run.
+	Replicas int
+	// SLAs assigns read SLAs round-robin across clients (client i gets
+	// SLAs[i%len]); empty defaults to replica.Mix(). Replicas > 0 only.
+	SLAs []replica.SLA
+	// Audit additionally records every routed read and every write's
+	// commit epoch into the Result, so SLA property tests can replay
+	// per-client histories. Replicas > 0 only.
+	Audit bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -119,6 +135,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Mix.Name == "" {
 		c.Mix = workload.YCSBA
+	}
+	if c.Replicas < 0 {
+		return c, fmt.Errorf("server: negative replica count %d", c.Replicas)
+	}
+	if c.Replicas > 0 && len(c.SLAs) == 0 {
+		c.SLAs = replica.Mix()
 	}
 	return c, nil
 }
@@ -200,6 +222,15 @@ type ShardStats struct {
 	PauseMeanPS, P99PausePS, P999PausePS, PauseMaxPS int64
 	Crashed                                          bool
 	CrashIndex                                       int64
+	// Replication accounting (Config.Replicas > 0; zero otherwise).
+	// SecReads counts reads served by secondaries, UnmetReads the reads
+	// degraded to the primary because no replica met the SLA.
+	SecReads, UnmetReads uint64
+	// StaleMeanEpochs is the mean staleness (committed epochs behind the
+	// primary) over secondary-served reads; P99ReadLatPS the SLA-routed
+	// read latency (RTT plus replica work).
+	StaleMeanEpochs float64
+	P99ReadLatPS    int64
 }
 
 // Violation is one consistency failure found by verification.
@@ -230,6 +261,18 @@ type Result struct {
 	Recovered      bool
 	RecoveredEpoch uint64
 	CrashedShard   int
+	// Failover outcome (Replicas > 0 crashed runs): the crashed shard's
+	// routing flipped to PromotedReplica at cut boundary PromotedEpoch.
+	FailedOver      bool
+	PromotedReplica int
+	PromotedEpoch   uint64
+	// Aggregate SLA accounting (Replicas > 0).
+	SecReads, UnmetReads uint64
+	StaleMeanEpochs      float64
+	// Reads and Writes are the per-request audit trails (Config.Audit),
+	// merged across shards in global sequence order.
+	Reads  []ReadAudit
+	Writes []WriteAudit
 	// Violations is empty iff every consistency check passed.
 	Violations []Violation
 	// Trace holds one track per shard when Config.Trace is set.
@@ -267,17 +310,26 @@ func (s *Service) Run() (*Result, error) {
 
 	res := &Result{CrashedShard: crashedRank}
 	if crashedRank >= 0 {
-		s.recoverAll(res)
+		if s.cfg.Replicas > 0 {
+			s.failover(res)
+		} else {
+			s.recoverAll(res)
+		}
 	} else {
-		// Clean run: every shard's KV must equal its live shadow. The
-		// fan-out parallelism cannot change the result: each cell reads
-		// only its own shard, and reduction is in shard order.
-		vs := sched.Map(len(s.shards), sched.Options{Workers: s.cfg.Parallel}, func(i int) []string {
-			return s.shards[i].verify(s.shards[i].shadow)
+		// Clean run: every shard's KV must equal its live shadow, and
+		// every quiesced secondary must equal the cut snapshot of its
+		// installed epoch. The fan-out parallelism cannot change the
+		// result: each cell reads only its own shard (and its replicas),
+		// and reduction is in shard order.
+		vs := sched.Map(len(s.shards), sched.Options{Workers: s.cfg.Parallel}, func(i int) [2][]string {
+			return [2][]string{s.shards[i].verify(s.shards[i].shadow), s.shards[i].verifyReplicas()}
 		})
 		for i, bad := range vs {
-			for _, d := range bad {
+			for _, d := range bad[0] {
 				res.Violations = append(res.Violations, Violation{Shard: i, Stage: "verify", Detail: d})
+			}
+			for _, d := range bad[1] {
+				res.Violations = append(res.Violations, Violation{Shard: i, Stage: "replica", Detail: d})
 			}
 		}
 	}
@@ -286,6 +338,11 @@ func (s *Service) Run() (*Result, error) {
 		res.Trace = &obs.Trace{}
 		for _, sh := range s.shards {
 			res.Trace.Add(fmt.Sprintf("serve/shard%d", sh.id), sh.rec)
+			if sh.reps != nil {
+				for i := 0; i < sh.reps.Len(); i++ {
+					res.Trace.Add(fmt.Sprintf("serve/shard%d/replica%d", sh.id, i), sh.reps.Sec(i).Recorder())
+				}
+			}
 		}
 	}
 	return res, nil
@@ -350,6 +407,13 @@ func (s *Service) serveRank(c *mpi.Comm, errs []error) {
 		c.Abort()
 		return
 	}
+	if s.cfg.Replicas > 0 {
+		if err := s.initReplicas(sh); err != nil {
+			errs[rank] = err
+			c.Abort()
+			return
+		}
+	}
 	if err := s.serve(c, sh); err != nil {
 		errs[rank] = err
 		c.Abort()
@@ -389,10 +453,23 @@ func (s *Service) serve(c *mpi.Comm, sh *shard) error {
 		}
 		hi := (b + 1) * s.cfg.BatchOps
 		for idx < len(my) && my[idx].seq < hi {
-			if err := sh.apply(my[idx].op); err != nil {
+			var err error
+			if sh.reps != nil {
+				err = s.applySLA(sh, my[idx].seq, my[idx].op)
+			} else {
+				err = sh.apply(my[idx].op)
+			}
+			if err != nil {
 				return err
 			}
 			idx++
+		}
+		if sh.reps != nil {
+			// Batch boundary: install every shipped delta whose simulated
+			// replication lag has elapsed on the aligned clock.
+			if _, err := sh.reps.Deliver(sh.clock.NowPS()); err != nil {
+				return err
+			}
 		}
 		if cutting {
 			// An incremental cut is in flight: one bounded checkpoint
@@ -463,6 +540,14 @@ func (s *Service) serve(c *mpi.Comm, sh *shard) error {
 	}
 	sh.simEndPS = sh.clock.NowPS()
 	sh.primEnd = sh.dev.PrimitiveCount()
+	if sh.reps != nil {
+		// Quiesce replication so end-of-run verification sees every
+		// secondary exactly at the final cut (pure replica-side work:
+		// the primary's clock and primitive count are already final).
+		if err := sh.reps.DeliverAll(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -472,12 +557,25 @@ func (s *Service) serve(c *mpi.Comm, sh *shard) error {
 // commit-then-barrier checkpoint.
 func (s *Service) cut(c *mpi.Comm, sh *shard) error {
 	sh.snapshotForNextCut()
+	var d *replica.Delta
+	if sh.reps != nil {
+		// Capture the delta at the boundary, before the commit mutates
+		// the dirty set (a pure DRAM copy: no device primitives, so
+		// crash-injection points are untouched).
+		d = sh.captureDelta()
+	}
 	t0 := sh.clock.NowPS()
 	sh.rec.Begin("ckpt-pause")
 	if err := mpi.Checkpoint(c, sh.ctr); err != nil {
 		return err
 	}
 	sh.rec.End()
+	if sh.reps != nil {
+		// The cut is globally committed (commit plus barrier behind us);
+		// the shipped payload rides that fence, so every replicated delta
+		// corresponds to a cut recovery can land on.
+		sh.shipDelta(d)
+	}
 	pause := sh.clock.NowPS() - t0
 	if sh.inEpoch {
 		sh.rec.End() // epoch
@@ -516,6 +614,12 @@ func (s *Service) dirtyEstimate(sh *shard) uint64 {
 // coordination is needed until the first quantum's allreduce.
 func (s *Service) cutBegin(sh *shard) error {
 	sh.snapshotForNextCut()
+	if sh.reps != nil {
+		// Capture now — Begin moves the dirty set into the cut — but ship
+		// only at the commit barrier: an aborted in-flight cut must never
+		// reach a secondary.
+		sh.pendDelta = sh.captureDelta()
+	}
 	t0 := sh.clock.NowPS()
 	sh.rec.Begin("ckpt-begin")
 	err := sh.ctr.CheckpointBegin()
@@ -569,6 +673,10 @@ func (s *Service) cutStep(c *mpi.Comm, sh *shard, committed bool) (bool, bool, e
 			stats := sh.dev.Stats()
 			sh.rec.RecordEpoch(stats.Sub(sh.statsBase), pause)
 			sh.statsBase = stats
+		}
+		if sh.reps != nil && sh.pendDelta != nil {
+			sh.shipDelta(sh.pendDelta)
+			sh.pendDelta = nil
 		}
 		sh.cuts++
 		sh.cutStartPS = sh.clock.NowPS()
@@ -722,6 +830,7 @@ func (s *Service) liveness(res *Result) {
 
 // fillStats assembles the deterministic per-shard and aggregate numbers.
 func (s *Service) fillStats(res *Result) {
+	var staleSum, staleN uint64
 	for _, sh := range s.shards {
 		st := ShardStats{
 			Shard:       sh.id,
@@ -744,6 +853,20 @@ func (s *Service) fillStats(res *Result) {
 		if sh.cuts > 0 {
 			st.PauseMeanPS = sh.pauseTotalPS / int64(sh.cuts)
 		}
+		if sh.reps != nil {
+			st.SecReads = sh.secReads
+			st.UnmetReads = sh.unmetReads
+			st.P99ReadLatPS = sh.readLat.quantile(0.99)
+			if sh.stale.n > 0 {
+				st.StaleMeanEpochs = float64(sh.staleSum) / float64(sh.stale.n)
+			}
+			res.SecReads += sh.secReads
+			res.UnmetReads += sh.unmetReads
+			staleSum += sh.staleSum
+			staleN += uint64(sh.stale.n)
+			res.Reads = append(res.Reads, sh.reads...)
+			res.Writes = append(res.Writes, sh.writes...)
+		}
 		res.Shards = append(res.Shards, st)
 		res.TotalOps += st.Ops
 		if st.Cuts > res.Cuts {
@@ -765,4 +888,9 @@ func (s *Service) fillStats(res *Result) {
 	if res.SimPS > 0 {
 		res.ThroughputOps = float64(res.TotalOps) * 1e12 / float64(res.SimPS)
 	}
+	if staleN > 0 {
+		res.StaleMeanEpochs = float64(staleSum) / float64(staleN)
+	}
+	sort.Slice(res.Reads, func(i, j int) bool { return res.Reads[i].Seq < res.Reads[j].Seq })
+	sort.Slice(res.Writes, func(i, j int) bool { return res.Writes[i].Seq < res.Writes[j].Seq })
 }

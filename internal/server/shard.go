@@ -10,6 +10,7 @@ import (
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/obs"
 	"libcrpm/internal/pds"
+	"libcrpm/internal/replica"
 	"libcrpm/internal/workload"
 )
 
@@ -77,6 +78,22 @@ type shard struct {
 	crashed    bool
 	crashIndex int64
 	crashKind  nvm.OpKind
+
+	// Replication (Config.Replicas > 0; everything below stays nil/zero
+	// otherwise, so the replica-free paths are byte-identical to a build
+	// without them).
+	ds                   DSKind
+	reps                 *replica.Group
+	secKV                []pds.KV       // lazily opened read handles over secondary containers
+	pendDelta            *replica.Delta // captured at cutBegin, shipped at the commit barrier
+	cstate               []replica.ClientState
+	readLat              hist // SLA-routed read latency (RTT + replica work)
+	stale                hist // staleness of secondary-served reads, epochs
+	staleSum             uint64
+	secReads, unmetReads uint64
+	repViol              []string // online secondary-read verification failures
+	reads                []ReadAudit
+	writes               []WriteAudit
 }
 
 // newShardShell builds the volatile half of a shard — device, clock,
@@ -125,7 +142,7 @@ func (sh *shard) init(opts core.Options, ds DSKind, buckets int, trace bool) err
 		return fmt.Errorf("server: unknown structure %q", ds)
 	}
 	a.SetRoot(kvRootSlot, uint64(root))
-	sh.ctr, sh.alloc, sh.kv = ctr, a, kv
+	sh.ctr, sh.alloc, sh.kv, sh.ds = ctr, a, kv, ds
 	if trace {
 		sh.rec = obs.NewRecorder(sh.clock)
 		ctr.SetTrace(sh.rec)
@@ -242,6 +259,22 @@ func (sh *shard) snapshotForNextCut() {
 		cp[k] = v
 	}
 	sh.snaps[next] = cp
+	if sh.reps != nil {
+		// Replicated retention floor: secondary-served reads are verified
+		// against the snapshot of the view they claim, so every epoch from
+		// the slowest replica's installed cut up must stay (the recovery
+		// window next-1 included — installed never exceeds committed here).
+		floor := sh.reps.MinInstalled()
+		if next-1 < floor {
+			floor = next - 1
+		}
+		for e := range sh.snaps {
+			if e < floor {
+				delete(sh.snaps, e)
+			}
+		}
+		return
+	}
 	if next >= 2 {
 		delete(sh.snaps, next-2)
 	}
@@ -257,10 +290,15 @@ func (sh *shard) dirtyBlockBytes() uint64 {
 // returning deterministic violation details (keys reported in sorted
 // order, capped) — empty means the images match exactly.
 func (sh *shard) verify(want map[uint64]uint64) []string {
-	n := sh.kv.Len()
+	return verifyKV(sh.kv, want)
+}
+
+// verifyKV is verify's engine, shared with replica verification.
+func verifyKV(kv pds.KV, want map[uint64]uint64) []string {
+	n := kv.Len()
 	var dump []pds.Pair
 	if n > 0 {
-		dump = sh.kv.Scan(0, n)
+		dump = kv.Scan(0, n)
 	}
 	var bad []string
 	got := make(map[uint64]uint64, len(dump))

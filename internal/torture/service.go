@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"libcrpm/internal/nvm"
+	"libcrpm/internal/replica"
 	"libcrpm/internal/sched"
 	"libcrpm/internal/server"
 )
@@ -30,6 +31,17 @@ type ServiceConfig struct {
 	// owns its own service world, so the violation report is
 	// byte-identical at any setting.
 	Parallel int
+	// KillPrimary sweeps crash-failover instead of restart-recovery:
+	// Server.Replicas must be positive, and every replay additionally
+	// demands that the crashed shard failed over to a promoted secondary.
+	KillPrimary bool
+	// SLAs adds an SLA dimension to the kill-primary matrix: each spec
+	// (replica.ParseSet syntax) re-runs the whole (shard, policy, point)
+	// grid with the clients assigned that SLA set, under its own
+	// reference run — routing changes which clock serves each read, so
+	// crash points shift per spec. Points keys gain a trailing "/<spec>"
+	// segment; empty leaves the single-run key format unchanged.
+	SLAs []string
 	// Progress, if non-nil, is called after each (shard, policy) combo.
 	Progress func(shard int, policy string, points, violations int)
 }
@@ -38,8 +50,10 @@ type ServiceConfig struct {
 type ServiceViolation struct {
 	// CrashShard and Policy identify the injection; Index is the device
 	// primitive the crash fired on (replayable via server.CrashSpec).
+	// SLA is the sweep's SLA spec, empty outside kill-primary SLA sweeps.
 	CrashShard int
 	Policy     string
+	SLA        string
 	Index      int64
 	// Shard, Stage, Detail locate the failure (Shard -1 for run-level
 	// failures).
@@ -49,8 +63,12 @@ type ServiceViolation struct {
 }
 
 func (v ServiceViolation) String() string {
-	return fmt.Sprintf("[shard %d/%s] crash at primitive %d: shard %d: %s: %s",
-		v.CrashShard, v.Policy, v.Index, v.Shard, v.Stage, v.Detail)
+	combo := fmt.Sprintf("shard %d/%s", v.CrashShard, v.Policy)
+	if v.SLA != "" {
+		combo += "/" + v.SLA
+	}
+	return fmt.Sprintf("[%s] crash at primitive %d: shard %d: %s: %s",
+		combo, v.Index, v.Shard, v.Stage, v.Detail)
 }
 
 // ServiceResult summarizes a service sweep.
@@ -73,18 +91,46 @@ func ServiceSweep(cfg ServiceConfig) (ServiceResult, error) {
 	if cfg.Server.Crash != nil {
 		return res, fmt.Errorf("torture: ServiceConfig.Server.Crash must be nil")
 	}
+	if cfg.KillPrimary && cfg.Server.Replicas < 1 {
+		return res, fmt.Errorf("torture: kill-primary sweep needs Server.Replicas > 0")
+	}
+	if len(cfg.SLAs) > 0 && !cfg.KillPrimary {
+		return res, fmt.Errorf("torture: the SLA dimension requires KillPrimary")
+	}
+	specs := []string{""}
+	if len(cfg.SLAs) > 0 {
+		specs = cfg.SLAs
+	}
+	for _, spec := range specs {
+		if err := serviceSweepSpec(cfg, spec, &res); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// serviceSweepSpec runs one SLA spec's (shard, policy, point) grid off its
+// own reference run, folding points and violations into res.
+func serviceSweepSpec(cfg ServiceConfig, spec string, res *ServiceResult) error {
 	base := cfg.Server
 	base.Liveness = true
+	if spec != "" {
+		set, err := replica.ParseSet(spec)
+		if err != nil {
+			return fmt.Errorf("torture: sweep SLA %q: %w", spec, err)
+		}
+		base.SLAs = set
+	}
 	ref, err := server.New(base)
 	if err != nil {
-		return res, fmt.Errorf("torture: service reference: %w", err)
+		return fmt.Errorf("torture: service reference: %w", err)
 	}
 	refRes, err := ref.Run()
 	if err != nil {
-		return res, fmt.Errorf("torture: service reference run: %w", err)
+		return fmt.Errorf("torture: service reference run: %w", err)
 	}
 	if !refRes.OK() {
-		return res, fmt.Errorf("torture: service reference run inconsistent: %v", refRes.Violations[0])
+		return fmt.Errorf("torture: service reference run inconsistent: %v", refRes.Violations[0])
 	}
 	spans := ref.PrimitiveSpans()
 
@@ -101,7 +147,7 @@ func ServiceSweep(cfg ServiceConfig) (ServiceResult, error) {
 
 	for _, sh := range shards {
 		if sh < 0 || sh >= base.Shards {
-			return res, fmt.Errorf("torture: crash shard %d out of range", sh)
+			return fmt.Errorf("torture: crash shard %d out of range", sh)
 		}
 		lo, hi := spans[sh][0], spans[sh][1]
 		stride := cfg.Stride
@@ -117,10 +163,13 @@ func ServiceSweep(cfg ServiceConfig) (ServiceResult, error) {
 		}
 		for _, pol := range policies {
 			vs := sched.Map(len(ks), sched.Options{Workers: cfg.Parallel}, func(i int) []ServiceViolation {
-				return serviceReplay(base, sh, pol, ks[i])
+				return serviceReplay(base, sh, pol, spec, ks[i], cfg.KillPrimary)
 			})
 			res.Replays += len(ks)
 			key := fmt.Sprintf("shard%d/%s", sh, pol.Name)
+			if spec != "" {
+				key += "/" + spec
+			}
 			res.Points[key] = len(ks)
 			bad := 0
 			for _, cell := range vs {
@@ -132,17 +181,17 @@ func ServiceSweep(cfg ServiceConfig) (ServiceResult, error) {
 			}
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // serviceReplay runs one crash-replay-recover cycle with panic
 // containment: a protocol panic becomes a violation row for this crash
 // point instead of killing the sweep.
-func serviceReplay(base server.Config, crashShard int, pol Policy, at int64) (out []ServiceViolation) {
+func serviceReplay(base server.Config, crashShard int, pol Policy, sla string, at int64, killPrimary bool) (out []ServiceViolation) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = append(out, ServiceViolation{
-				CrashShard: crashShard, Policy: pol.Name, Index: at,
+				CrashShard: crashShard, Policy: pol.Name, SLA: sla, Index: at,
 				Shard: -1, Stage: "panic", Detail: fmt.Sprint(r),
 			})
 		}
@@ -159,21 +208,27 @@ func serviceReplay(base server.Config, crashShard int, pol Policy, at int64) (ou
 	}
 	svc, err := server.New(cfg)
 	if err != nil {
-		return []ServiceViolation{{CrashShard: crashShard, Policy: pol.Name, Index: at, Shard: -1, Stage: "config", Detail: err.Error()}}
+		return []ServiceViolation{{CrashShard: crashShard, Policy: pol.Name, SLA: sla, Index: at, Shard: -1, Stage: "config", Detail: err.Error()}}
 	}
 	res, err := svc.Run()
 	if err != nil {
-		return []ServiceViolation{{CrashShard: crashShard, Policy: pol.Name, Index: at, Shard: -1, Stage: "run", Detail: err.Error()}}
+		return []ServiceViolation{{CrashShard: crashShard, Policy: pol.Name, SLA: sla, Index: at, Shard: -1, Stage: "run", Detail: err.Error()}}
 	}
 	if !res.Recovered && res.OK() {
 		out = append(out, ServiceViolation{
-			CrashShard: crashShard, Policy: pol.Name, Index: at,
+			CrashShard: crashShard, Policy: pol.Name, SLA: sla, Index: at,
 			Shard: -1, Stage: "recover", Detail: "run reported no recovery and no violations",
+		})
+	}
+	if killPrimary && !res.FailedOver && res.OK() {
+		out = append(out, ServiceViolation{
+			CrashShard: crashShard, Policy: pol.Name, SLA: sla, Index: at,
+			Shard: crashShard, Stage: "failover", Detail: "kill-primary replay recovered without promoting a secondary",
 		})
 	}
 	for _, v := range res.Violations {
 		out = append(out, ServiceViolation{
-			CrashShard: crashShard, Policy: pol.Name, Index: at,
+			CrashShard: crashShard, Policy: pol.Name, SLA: sla, Index: at,
 			Shard: v.Shard, Stage: v.Stage, Detail: v.Detail,
 		})
 	}

@@ -1,6 +1,8 @@
 package torture
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -81,6 +83,63 @@ func TestServiceSweepIncremental(t *testing.T) {
 	}
 }
 
+// TestServiceSweepKillPrimary is the acceptance sweep for failover: with
+// every shard replicated, crashes strided across two shards' serving
+// spans — under the pause policy, so many land inside in-flight
+// incremental cuts — must always promote a secondary, converge every
+// shard on one epoch, and lose or double-apply nothing acked across a
+// cut, for each SLA spec in the matrix.
+func TestServiceSweepKillPrimary(t *testing.T) {
+	srv := serviceBase()
+	srv.Replicas = 2
+	srv.Policy = server.NewPausePolicy(2 * time.Microsecond)
+	cfg := ServiceConfig{
+		Server:      srv,
+		CrashShards: []int{0, 2},
+		Policies:    StandardPolicies(7),
+		KillPrimary: true,
+		SLAs:        []string{"mix", "strong", "bounded:1"},
+	}
+	res, err := ServiceSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replays == 0 {
+		t.Fatal("sweep ran no replays")
+	}
+	for _, spec := range cfg.SLAs {
+		for _, sh := range cfg.CrashShards {
+			key := fmt.Sprintf("shard%d/%s/%s", sh, StandardPolicies(7)[0].Name, spec)
+			if res.Points[key] < 8 {
+				t.Fatalf("combo %s tested only %d points", key, res.Points[key])
+			}
+		}
+	}
+	if !res.OK() {
+		t.Fatalf("%d violations (of %d replays), first: %v", len(res.Violations), res.Replays, res.Violations[0])
+	}
+}
+
+// TestServiceSweepKillPrimaryValidation: the failover mode's config
+// contract — no replicas means no kill-primary, and the SLA dimension
+// exists only there.
+func TestServiceSweepKillPrimaryValidation(t *testing.T) {
+	cfg := ServiceConfig{Server: serviceBase(), KillPrimary: true}
+	if _, err := ServiceSweep(cfg); err == nil {
+		t.Fatal("kill-primary without replicas should fail")
+	}
+	cfg = ServiceConfig{Server: serviceBase(), SLAs: []string{"mix"}}
+	if _, err := ServiceSweep(cfg); err == nil {
+		t.Fatal("SLA dimension without kill-primary should fail")
+	}
+	srv := serviceBase()
+	srv.Replicas = 1
+	cfg = ServiceConfig{Server: srv, KillPrimary: true, SLAs: []string{"nope"}}
+	if _, err := ServiceSweep(cfg); err == nil {
+		t.Fatal("unparsable sweep SLA should fail")
+	}
+}
+
 // TestServiceSweepDeterministicReport: the violation report (here: the
 // pass/fail counters) is identical at any replay parallelism.
 func TestServiceSweepDeterministicReport(t *testing.T) {
@@ -113,5 +172,40 @@ func TestServiceSweepDeterministicReport(t *testing.T) {
 		if b.Points[k] != v {
 			t.Fatalf("points %s: %d vs %d", k, v, b.Points[k])
 		}
+	}
+}
+
+// TestServiceSweepKillPrimaryDeterministicReport: the kill-primary
+// report, promotions included, is byte-identical at replay parallelism
+// 1 and 8 — the CI failover byte-identity gate.
+func TestServiceSweepKillPrimaryDeterministicReport(t *testing.T) {
+	srv := serviceBase()
+	srv.Replicas = 2
+	base := ServiceConfig{
+		Server:      srv,
+		CrashShards: []int{1},
+		Stride:      977,
+		KillPrimary: true,
+		SLAs:        []string{"mix"},
+	}
+	serial, par := base, base
+	serial.Parallel = 1
+	par.Parallel = 8
+	a, err := ServiceSweep(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ServiceSweep(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("serial and parallel kill-primary reports differ:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Replays == 0 {
+		t.Fatal("sweep ran no replays")
+	}
+	if !a.OK() {
+		t.Fatalf("%d violations, first: %v", len(a.Violations), a.Violations[0])
 	}
 }
