@@ -6,6 +6,7 @@
 package crpm
 
 import (
+	"fmt"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -447,6 +448,60 @@ func BenchmarkPauseTimes(b *testing.B) {
 		}
 		if i == 0 {
 			b.Logf("\n%s", tb)
+		}
+	}
+}
+
+// BenchmarkOnWriteBackends measures the real (wall-clock) cost of the
+// OnWrite hot path of every backend at every crossover write size: one
+// traced, size-aligned write per iteration over a uniform offset stream,
+// with a checkpoint every 512 writes to keep epochs realistic. The
+// simulated per-op cost of the same matrix is the harness OnWriteMicro
+// table (crpmbench -exp crossover).
+func BenchmarkOnWriteBackends(b *testing.B) {
+	const heapSize = 1 << 20
+	for _, sys := range harness.OnWriteSystems() {
+		for _, size := range harness.OnWriteSizes() {
+			b.Run(fmt.Sprintf("%s/%dB", sys, size), func(b *testing.B) {
+				bk, err := harness.NewArenaBackend(sys, heapSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nSlots := heapSize / size
+				rng := rand.New(rand.NewSource(42))
+				buf := make([]byte, size)
+				rng.Read(buf)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					off := rng.Intn(nSlots) * size
+					bk.OnWrite(off, size)
+					bk.Write(off, buf)
+					if i%512 == 511 {
+						if err := bk.Checkpoint(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCrossover regenerates the InCLL-vs-differential crossover
+// figure once per iteration, reporting the headline cell.
+func BenchmarkCrossover(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 16_000
+	sc.HeapSize = 4 << 20
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.CrossoverFigure(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tb)
+			b.ReportMetric(tb.Metrics["xover_mops/8B/uniform/update-heavy/InCLL"], "incll-8B-sim-Mops")
 		}
 	}
 }

@@ -8,7 +8,7 @@
 //	crpmbench -list
 //
 // Experiments: fig1, fig7, fig8, fig9, fig10a, fig10b, table1a, table1b,
-// service, recovery, storage, ablations, all.
+// service, crossover, recovery, storage, ablations, all.
 package main
 
 import (
@@ -73,6 +73,21 @@ func experiments() []experiment {
 		{"table1b", "sfence instructions per epoch (Table 1b)", one(harness.Table1b)},
 		{"service", "sharded KV service throughput and cut pause vs shard count, stop-the-world and incremental pause-budget cuts (extension)", one(harness.ServiceFigure)},
 		{"replica", "replicated service read throughput, staleness, and SLA-unmet fraction vs replica count x SLA (extension)", one(harness.ReplicaFigure)},
+		{"crossover", "InCLL vs differential checkpointing: write-size x locality x mix crossover, the per-backend OnWrite micro matrix, and the per-backend service scaling study (extension)", func(sc harness.Scale) ([]harness.Table, error) {
+			x, err := harness.CrossoverFigure(sc)
+			if err != nil {
+				return nil, err
+			}
+			m, err := harness.OnWriteMicro(sc)
+			if err != nil {
+				return nil, err
+			}
+			s, err := harness.ServiceBackendFigure(sc)
+			if err != nil {
+				return nil, err
+			}
+			return []harness.Table{x, m, s}, nil
+		}},
 		{"recovery", "LULESH recovery time (§5.5)", one(harness.RecoveryTime)},
 		{"pauses", "checkpoint pause-time distribution (extension)", one(harness.PauseTimes)},
 		{"storage", "storage cost of LULESH (§5.6)", one(harness.StorageCost)},

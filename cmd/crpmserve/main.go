@@ -74,7 +74,7 @@ func run() int {
 	mixName := flag.String("mix", "a", "YCSB mix: a-f or crud")
 	ops := flag.Int("ops", 200_000, "total operations across all clients")
 	keys := flag.Uint64("keys", 100_000, "initially populated key-space size")
-	backend := flag.String("backend", "default", "libcrpm container mode: default | buffered")
+	backend := flag.String("backend", "default", "checkpoint backend: default | buffered (libcrpm container modes) | incll (in-cache-line logging)")
 	ds := flag.String("ds", "hashmap", "per-shard structure: hashmap | rbmap")
 	policySpec := flag.String("policy", "ops:16384", "cut policy: ops:N | interval:DUR | dirty:BYTES | pause:DUR (pause budget; enables the incremental pipeline)")
 	heap := flag.Int("heap", 8<<20, "per-shard container heap bytes")
@@ -101,13 +101,16 @@ func run() int {
 		return 2
 	}
 	var mode core.Mode
+	var store string
 	switch strings.ToLower(*backend) {
 	case "default":
 		mode = core.ModeDefault
 	case "buffered":
 		mode = core.ModeBuffered
+	case "incll":
+		store = server.BackendInCLL
 	default:
-		fmt.Fprintf(os.Stderr, "unknown backend %q (default|buffered)\n", *backend)
+		fmt.Fprintf(os.Stderr, "unknown backend %q (default|buffered|incll)\n", *backend)
 		return 2
 	}
 	var kind server.DSKind
@@ -133,6 +136,7 @@ func run() int {
 		Ops:        *ops,
 		Keys:       *keys,
 		DS:         kind,
+		Backend:    store,
 		Mode:       mode,
 		HeapSize:   *heap,
 		Buckets:    *buckets,

@@ -79,6 +79,10 @@ func (b *Backend) Recover() error { return nil }
 func (b *Backend) Device() *nvm.Device { return b.dev }
 
 // Metrics implements ckpt.Backend.
-func (b *Backend) Metrics() ckpt.Metrics { return b.m }
+func (b *Backend) Metrics() ckpt.Metrics {
+	m := b.m
+	m.FlushedLines = b.dev.Stats().FlushedLines
+	return m
+}
 
 var _ ckpt.Backend = (*Backend)(nil)

@@ -183,7 +183,11 @@ func (b *Backend) Bytes() []byte {
 func (b *Backend) Device() *nvm.Device { return b.dev }
 
 // Metrics implements ckpt.Backend.
-func (b *Backend) Metrics() ckpt.Metrics { return b.m }
+func (b *Backend) Metrics() ckpt.Metrics {
+	m := b.m
+	m.FlushedLines = b.dev.Stats().FlushedLines
+	return m
+}
 
 // OnRead implements ckpt.Backend.
 func (b *Backend) OnRead(off, n int) {

@@ -61,6 +61,11 @@ type Metrics struct {
 	TraceEvents int64
 	// RecoveryBytes counts bytes copied during recoveries.
 	RecoveryBytes int64
+	// FlushedLines counts 64-byte cache lines the system flushed to media
+	// (CLWB, flush ranges, fence-drained pending lines). This attributes
+	// flush traffic per backend: differential checkpointing pays it in
+	// bursts at checkpoint time, logging schemes pay it per write.
+	FlushedLines int64
 	// MetadataBytes is the persistent metadata footprint of the container.
 	MetadataBytes int64
 }
@@ -72,6 +77,7 @@ func (m Metrics) Sub(o Metrics) Metrics {
 		CheckpointBytes: m.CheckpointBytes - o.CheckpointBytes,
 		TraceEvents:     m.TraceEvents - o.TraceEvents,
 		RecoveryBytes:   m.RecoveryBytes - o.RecoveryBytes,
+		FlushedLines:    m.FlushedLines - o.FlushedLines,
 		MetadataBytes:   m.MetadataBytes,
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"libcrpm/internal/baselines/undolog"
 	"libcrpm/internal/ckpt"
 	"libcrpm/internal/core"
+	"libcrpm/internal/incll"
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/region"
 )
@@ -96,6 +97,13 @@ func systems() []system {
 			fresh: func() (ckpt.Backend, error) { return fti.New(fti.Config{HeapSize: heapSize}) },
 			reopen: func(dev *nvm.Device) (ckpt.Backend, error) {
 				return fti.Open(fti.Config{HeapSize: heapSize}, dev)
+			},
+		},
+		{
+			name:  "InCLL",
+			fresh: func() (ckpt.Backend, error) { return incll.New(heapSize) },
+			reopen: func(dev *nvm.Device) (ckpt.Backend, error) {
+				return incll.Open(heapSize, dev)
 			},
 		},
 	}

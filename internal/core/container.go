@@ -416,7 +416,11 @@ func (c *Container) Write(off int, src []byte) {
 func (c *Container) SetTrace(r *obs.Recorder) { c.rec = r }
 
 // Metrics implements ckpt.Backend.
-func (c *Container) Metrics() ckpt.Metrics { return c.metrics }
+func (c *Container) Metrics() ckpt.Metrics {
+	m := c.metrics
+	m.FlushedLines = c.dev.Stats().FlushedLines
+	return m
+}
 
 // CoWBytes returns cumulative copy-on-write traffic (execution-period
 // differential copies), reported separately from checkpoint-period bytes.
@@ -429,6 +433,13 @@ func (c *Container) DirtyInfo() (segs, blocks int) {
 		return c.dirtySegs.Count(), c.curDirty.Count()
 	}
 	return c.dirtySegs.Count(), c.dirtyBlocks.Count()
+}
+
+// DirtyEstimateBytes estimates the pending checkpoint footprint — dirty
+// blocks times block size — for byte-threshold cut policies.
+func (c *Container) DirtyEstimateBytes() uint64 {
+	_, blocks := c.DirtyInfo()
+	return uint64(blocks) * uint64(c.l.BlkSize)
 }
 
 // DirtySegments returns the ascending indices of the main segments

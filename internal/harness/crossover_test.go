@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// xoverScale trims the small scale so the 48-cell sweep stays fast under
+// `go test`.
+func xoverScale() Scale {
+	sc := SmallScale()
+	sc.Ops = 24_000
+	sc.HeapSize = 4 << 20
+	return sc
+}
+
+// TestCrossoverFigure is the acceptance test for the crossover study: the
+// grid is complete, and the figure exhibits the crossover itself — at least
+// one workload point where InCLL beats both differential modes on both
+// throughput and checkpoint bytes, and at least one where the paper's
+// scheme wins both.
+func TestCrossoverFigure(t *testing.T) {
+	tb, err := CrossoverFigure(xoverScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 2 * 2; len(tb.Rows) != want {
+		t.Fatalf("grid has %d rows, want %d", len(tb.Rows), want)
+	}
+	winnerCol := len(tb.Header) - 1
+	var incllWins, diffWins int
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Header) {
+			t.Fatalf("ragged row %v vs header %v", row, tb.Header)
+		}
+		switch row[winnerCol] {
+		case "InCLL":
+			incllWins++
+		case "differential":
+			diffWins++
+		}
+	}
+	if incllWins == 0 {
+		t.Errorf("no cell where InCLL wins both metrics:\n%s", tb)
+	}
+	if diffWins == 0 {
+		t.Errorf("no cell where differential checkpointing wins both metrics:\n%s", tb)
+	}
+	// The figure's claim lives in the notes too; keep them in sync with the
+	// winner column so the CSV is self-describing.
+	notes := strings.Join(tb.Notes, "\n")
+	if strings.Contains(notes, "InCLL wins both metrics in 0 cells") ||
+		strings.Contains(notes, "differential wins both metrics in 0 cells") {
+		t.Errorf("notes disagree with winner column:\n%s", notes)
+	}
+	// Every cell must report a flushed-lines metric for the -json trajectory.
+	for name, v := range tb.Metrics {
+		if strings.HasPrefix(name, "xover_mops/") && v <= 0 {
+			t.Errorf("degenerate throughput metric %s = %v", name, v)
+		}
+	}
+}
+
+// TestCrossoverDeterministic pins the crossover CSV byte-identical between
+// the serial path and an 8-worker pool, the contract the CI job diffs.
+func TestCrossoverDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full sweeps")
+	}
+	sc := xoverScale()
+	sc.Ops = 8_000
+	run := func(workers int) string {
+		SetParallelism(workers)
+		defer SetParallelism(0)
+		tb, err := CrossoverFigure(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.CSV()
+	}
+	serial, parallel := run(1), run(8)
+	if serial != parallel {
+		t.Fatalf("crossover CSV differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestOnWriteMicro checks the microbenchmark matrix is complete: every
+// backend reports a positive per-write cost at every size, both in the
+// table and in the machine-readable metrics.
+func TestOnWriteMicro(t *testing.T) {
+	tb, err := OnWriteMicro(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(OnWriteSystems()) {
+		t.Fatalf("%d rows, want %d", len(tb.Rows), len(OnWriteSystems()))
+	}
+	for _, sys := range OnWriteSystems() {
+		for _, size := range OnWriteSizes() {
+			key := fmt.Sprintf("onwrite_ns/%s/%dB", sys, size)
+			if v, ok := tb.Metrics[key]; !ok || v <= 0 {
+				t.Errorf("metric %s = %v (present %v), want > 0", key, v, ok)
+			}
+		}
+	}
+}
+
+// TestServiceBackendFigure: the end-to-end service comparison runs every
+// backend at every shard count, and InCLL's p99 cut pause stays at or
+// below both differential modes' at the largest shard count (the O(1)
+// epoch-tag commit versus a dirty-set walk).
+func TestServiceBackendFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness experiment")
+	}
+	sc := SmallScale()
+	sc.Ops = 24_000
+	tb, err := ServiceBackendFigure(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 backends x 2 metrics)", len(tb.Rows))
+	}
+	for _, sys := range []string{"libcrpm-Default", "libcrpm-Buffered", "InCLL"} {
+		for _, n := range []int{1, 2, 4} {
+			key := fmt.Sprintf("svcbe_tput_mops/%s/%d", sys, n)
+			if v, ok := tb.Metrics[key]; !ok || v <= 0 {
+				t.Errorf("metric %s = %v, %v; want > 0", key, v, ok)
+			}
+		}
+	}
+	incll := tb.Metrics["svcbe_p99_pause_us/InCLL/4"]
+	for _, sys := range []string{"libcrpm-Default", "libcrpm-Buffered"} {
+		if diff := tb.Metrics[fmt.Sprintf("svcbe_p99_pause_us/%s/4", sys)]; incll > diff {
+			t.Errorf("InCLL p99 pause %.1fµs above %s's %.1fµs at 4 shards", incll, sys, diff)
+		}
+	}
+}

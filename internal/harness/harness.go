@@ -23,6 +23,7 @@ import (
 	"libcrpm/internal/ckpt"
 	"libcrpm/internal/core"
 	"libcrpm/internal/heap"
+	"libcrpm/internal/incll"
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/obs"
 	"libcrpm/internal/pds"
@@ -268,6 +269,8 @@ func NewDSSetup(system string, kind DSKind, sc Scale, geo Geometry) (*DSSetup, e
 		b = nvmnp.New(sc.HeapSize)
 	case "FTI":
 		b, err = fti.New(fti.Config{HeapSize: sc.HeapSize})
+	case "InCLL":
+		b, err = incll.New(sc.HeapSize)
 	case "libcrpm-Default", "libcrpm-Buffered":
 		mode := core.ModeDefault
 		if system == "libcrpm-Buffered" {

@@ -37,7 +37,7 @@ func runOnce(t *testing.T, system string) (simPS int64, sfences, mediaBytes, flu
 // "optimisation" changed what the simulator measures rather than how fast
 // it measures it.
 func TestSimulatedObservablesDeterministic(t *testing.T) {
-	for _, system := range []string{"libcrpm-Default", "libcrpm-Buffered", "Undo-log"} {
+	for _, system := range []string{"libcrpm-Default", "libcrpm-Buffered", "Undo-log", "InCLL"} {
 		t.Run(system, func(t *testing.T) {
 			ps1, sf1, mb1, fl1 := runOnce(t, system)
 			ps2, sf2, mb2, fl2 := runOnce(t, system)

@@ -1,0 +1,183 @@
+// Property tests pinning the InCLL layout invariant and the routing
+// decision: for every (offset, length), the undo slot OnWrite chooses
+// lives in the same 256-byte line as the bytes it protects, and writes
+// that cannot use the slot are routed to the side log — checked
+// differentially against a naive reference logger that reimplements the
+// routing spec with maps.
+package incll
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// TestPropInlineSlotSameLine sweeps every in-line offset and every inline
+// length: the entry must land in the meta cache line of the protected
+// bytes' own 256-byte media chunk, tagged with the current epoch and the
+// exact range, holding the exact pre-image.
+func TestPropInlineSlotSameLine(t *testing.T) {
+	const size = 4 * DataPerLine
+	for lo := 0; lo < DataPerLine; lo += 7 {
+		for _, n := range []int{1, 2, 8, 16, 17, SlotSize} {
+			if lo+n > DataPerLine {
+				continue
+			}
+			b := mustNew(t, size)
+			line := 2
+			off := line*DataPerLine + lo
+			pre := make([]byte, n)
+			for i := range pre {
+				pre[i] = byte(0xA0 + i)
+			}
+			write(b, off, pre) // epoch 1 pre-image
+			if err := b.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, n)
+			write(b, off, buf)
+			if b.SideRecords() != 0 {
+				t.Fatalf("off=%d n=%d: inline-eligible write hit the side log", lo, n)
+			}
+			w := b.Device().Working()
+			mo := b.metaOff(line)
+			// Layout invariant: the slot's media chunk is the data's media chunk.
+			dataChunk := b.lineBase(line) / LineSpan
+			if slotChunk := mo / LineSpan; slotChunk != dataChunk {
+				t.Fatalf("off=%d n=%d: undo slot in chunk %d, data in chunk %d", lo, n, slotChunk, dataChunk)
+			}
+			epoch, toff, tlen := unpackTag(binary.LittleEndian.Uint64(w[mo:]))
+			if epoch != 2 || toff != lo || tlen != n {
+				t.Fatalf("off=%d n=%d: tag = (epoch %d, off %d, len %d)", lo, n, epoch, toff, tlen)
+			}
+			if !bytes.Equal(w[mo+8:mo+8+n], pre) {
+				t.Fatalf("off=%d n=%d: slot does not hold the pre-image", lo, n)
+			}
+		}
+	}
+}
+
+// refLogger reimplements the routing spec naively: per epoch, each line
+// holds at most one inline range; a side-covered line absorbs everything;
+// a write that spans lines or exceeds SlotSize covers each touched line
+// in the side log.
+type refLogger struct {
+	inline map[int][2]int // line -> [off-in-line, len] of its inline entry
+	side   map[int]bool
+	inl    int64
+	sde    int64
+}
+
+func newRefLogger() *refLogger {
+	return &refLogger{inline: make(map[int][2]int), side: make(map[int]bool)}
+}
+
+func (r *refLogger) checkpoint() {
+	r.inline = make(map[int][2]int)
+	r.side = make(map[int]bool)
+}
+
+func (r *refLogger) onWrite(off, n int) {
+	first, last := off/DataPerLine, (off+n-1)/DataPerLine
+	if first == last && n <= SlotSize {
+		l := first
+		if r.side[l] {
+			return
+		}
+		lo := off - l*DataPerLine
+		if e, ok := r.inline[l]; ok {
+			if e[0] <= lo && lo+n <= e[0]+e[1] {
+				return // covered
+			}
+			r.side[l] = true
+			r.sde++
+			return
+		}
+		r.inline[l] = [2]int{lo, n}
+		r.inl++
+		return
+	}
+	for l := first; l <= last; l++ {
+		if !r.side[l] {
+			r.side[l] = true
+			r.sde++
+		}
+	}
+}
+
+// TestPropRoutingMatchesReference drives random writes (sizes straddling
+// every routing boundary) through both the backend and the reference
+// logger; the inline/side record counters must agree after every write.
+func TestPropRoutingMatchesReference(t *testing.T) {
+	const size = 64 * 1024
+	for trial := int64(0); trial < 5; trial++ {
+		b := mustNew(t, size)
+		ref := newRefLogger()
+		rng := rand.New(rand.NewSource(100 + trial))
+		for i := 0; i < 2000; i++ {
+			if rng.Intn(97) == 0 {
+				if err := b.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				ref.checkpoint()
+				continue
+			}
+			var n int
+			switch rng.Intn(4) {
+			case 0:
+				n = 1 + rng.Intn(SlotSize) // inline-sized
+			case 1:
+				n = SlotSize + 1 + rng.Intn(8) // just over the slot
+			case 2:
+				n = 1 + rng.Intn(2*DataPerLine) // often spans lines
+			default:
+				n = 8
+			}
+			off := rng.Intn(size - n)
+			buf := make([]byte, n)
+			rng.Read(buf)
+			write(b, off, buf)
+			ref.onWrite(off, n)
+			if b.InlineRecords() != ref.inl || b.SideRecords() != ref.sde {
+				t.Fatalf("trial %d op %d (off=%d n=%d): backend inline/side = %d/%d, reference = %d/%d",
+					trial, i, off, n, b.InlineRecords(), b.SideRecords(), ref.inl, ref.sde)
+			}
+		}
+	}
+}
+
+// TestPropRecoveryMatchesShadow runs random mixed-size scripts with
+// seeded crashes at the end of each: recovery must land byte-exactly on
+// the last committed shadow, whatever mix of inline and side entries the
+// uncommitted epoch left behind.
+func TestPropRecoveryMatchesShadow(t *testing.T) {
+	const size = 32 * 1024
+	for trial := int64(0); trial < 8; trial++ {
+		b := mustNew(t, size)
+		rng := rand.New(rand.NewSource(200 + trial))
+		committed := make([]byte, size)
+		for i := 0; i < 400; i++ {
+			if rng.Intn(37) == 0 {
+				copy(committed, b.Bytes())
+				if err := b.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			n := 1 + rng.Intn(300)
+			off := rng.Intn(size - n)
+			buf := make([]byte, n)
+			rng.Read(buf)
+			write(b, off, buf)
+		}
+		b.Device().Crash(rand.New(rand.NewSource(300 + trial)))
+		r, err := Open(size, b.Device())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(r.Bytes(), committed) {
+			t.Fatalf("trial %d: recovered state differs from the committed shadow", trial)
+		}
+	}
+}

@@ -16,11 +16,18 @@ func ContainerOptions(reg region.Config, mode core.Mode) core.Options {
 	return core.Options{Region: reg, Mode: mode, EagerCoWSegments: -1}
 }
 
+// Checkpointer is the commit surface Checkpoint needs from a rank's
+// per-process checkpoint store; core.Container, the FTI baseline, and the
+// incll backend all qualify.
+type Checkpointer interface {
+	Checkpoint() error
+}
+
 // Checkpoint is crpm_mpi_checkpoint (§3.6): each rank commits its container
 // individually, then all ranks synchronize. When the barrier returns, every
 // container holds checkpoint states for both epoch e and epoch e-1, so a
 // crash anywhere in the window recovers to a globally consistent epoch.
-func Checkpoint(c *Comm, ctr *core.Container) error {
+func Checkpoint(c *Comm, ctr Checkpointer) error {
 	if err := ctr.Checkpoint(); err != nil {
 		return err
 	}

@@ -70,11 +70,11 @@ func (s *Service) initReplicas(sh *shard) error {
 // run and no simulated time passes, so crash points and clocks are
 // exactly those of an unreplicated run.
 func (sh *shard) captureDelta() *replica.Delta {
-	l := sh.ctr.Layout()
-	segs := sh.ctr.DirtySegments()
-	heapImg := sh.ctr.Bytes()
+	l := sh.core.Layout()
+	segs := sh.core.DirtySegments()
+	heapImg := sh.core.Bytes()
 	d := &replica.Delta{
-		Epoch:  sh.ctr.CommittedEpoch() + 1,
+		Epoch:  sh.core.CommittedEpoch() + 1,
 		Segs:   segs,
 		Images: make([][]byte, len(segs)),
 	}
@@ -280,6 +280,7 @@ func (sh *shard) verifyReplicas() []string {
 func (sh *shard) adoptReplica(sec *replica.Secondary) {
 	sh.clock = sec.Clock()
 	sh.ctr = sec.Container()
+	sh.core = sec.Container()
 }
 
 // failover models losing the crashed shard's node outright and restoring
@@ -413,7 +414,7 @@ func (s *Service) failover(res *Result) {
 	}
 	vs := sched.Map(n, sched.Options{Workers: s.cfg.Parallel}, func(i int) []string {
 		sh := s.shards[i]
-		ctr := ctrs[i]
+		var ctr CutBackend = ctrs[i]
 		if i == crashed {
 			ctr = sh.ctr // the adopted replica's container
 		}

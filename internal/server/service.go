@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"libcrpm/internal/core"
+	"libcrpm/internal/incll"
 	"libcrpm/internal/mpi"
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/obs"
@@ -20,6 +21,26 @@ import (
 // ErrNoOps mirrors workload.ErrNoOps for the service: a run with no
 // requests has no epochs and no meaningful result.
 var ErrNoOps = errors.New("server: service run needs at least one operation")
+
+// Checkpoint backends a shard can serve from.
+const (
+	// BackendCore is the differential libcrpm container (the default;
+	// Config.Mode selects Default or Buffered).
+	BackendCore = "core"
+	// BackendInCLL is the in-cache-line-logging backend: inline undo slots
+	// with O(1) epoch-tag checkpoints instead of block-granular CoW.
+	BackendInCLL = "incll"
+)
+
+// ErrInCLLReplicas rejects Replicas > 0 with the incll backend: delta
+// shipping reads the container's dirty-segment set, which in-cache-line
+// logging does not maintain (it has no block-granular dirty tracking).
+var ErrInCLLReplicas = errors.New("server: the incll backend does not support replication (no dirty-segment capture)")
+
+// ErrInCLLIncremental rejects the incremental cut pipeline with the incll
+// backend: its checkpoint is already O(1) (an epoch-tag bump), so there is
+// nothing to drain through bounded quanta.
+var ErrInCLLIncremental = errors.New("server: the incll backend does not support the incremental cut pipeline (checkpoints are already O(1))")
 
 // CrashSpec injects a power failure into a run for torture testing.
 type CrashSpec struct {
@@ -47,7 +68,12 @@ type Config struct {
 	Keys uint64
 	// DS selects the per-shard structure (default DSHashMap).
 	DS DSKind
-	// Mode is the libcrpm container mode (Default or Buffered).
+	// Backend selects each shard's checkpoint store: BackendCore (default)
+	// or BackendInCLL. The incll backend excludes Replicas and the
+	// incremental cut pipeline (StepBudget / PausePolicy).
+	Backend string
+	// Mode is the libcrpm container mode (Default or Buffered); core
+	// backend only.
 	Mode core.Mode
 	// HeapSize is each shard's container heap (default 64 MB).
 	HeapSize int
@@ -110,6 +136,13 @@ func (c Config) withDefaults() (Config, error) {
 	if c.DS == "" {
 		c.DS = DSHashMap
 	}
+	switch c.Backend {
+	case "":
+		c.Backend = BackendCore
+	case BackendCore, BackendInCLL:
+	default:
+		return c, fmt.Errorf("server: unknown backend %q", c.Backend)
+	}
 	if c.HeapSize == 0 {
 		c.HeapSize = 64 << 20
 	}
@@ -124,6 +157,17 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.StepBudget < 0 {
 		return c, fmt.Errorf("server: negative step budget %d", c.StepBudget)
+	}
+	if c.Backend == BackendInCLL {
+		if c.StepBudget > 0 {
+			return c, ErrInCLLIncremental
+		}
+		if _, ok := c.Policy.(PausePolicy); ok {
+			return c, ErrInCLLIncremental
+		}
+		if c.Replicas > 0 {
+			return c, ErrInCLLReplicas
+		}
 	}
 	if c.StepBudget == 0 {
 		if p, ok := c.Policy.(PausePolicy); ok {
@@ -176,18 +220,26 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	reg := region.Config{HeapSize: cfg.HeapSize, BackupRatio: 1}
-	l, err := region.NewLayout(reg)
-	if err != nil {
-		return nil, err
-	}
 	s := &Service{
-		cfg:        cfg,
-		router:     NewRouter(cfg.Shards),
-		reg:        reg,
-		opts:       mpi.ContainerOptions(reg, cfg.Mode),
-		deviceSize: l.DeviceSize(),
-		streams:    make([][]seqOp, cfg.Shards),
-		batches:    (cfg.Ops + cfg.BatchOps - 1) / cfg.BatchOps,
+		cfg:     cfg,
+		router:  NewRouter(cfg.Shards),
+		reg:     reg,
+		opts:    mpi.ContainerOptions(reg, cfg.Mode),
+		streams: make([][]seqOp, cfg.Shards),
+		batches: (cfg.Ops + cfg.BatchOps - 1) / cfg.BatchOps,
+	}
+	if cfg.Backend == BackendInCLL {
+		size, err := incll.DeviceSize(cfg.HeapSize)
+		if err != nil {
+			return nil, err
+		}
+		s.deviceSize = size
+	} else {
+		l, err := region.NewLayout(reg)
+		if err != nil {
+			return nil, err
+		}
+		s.deviceSize = l.DeviceSize()
 	}
 	gens := make([]*workload.Generator, cfg.Clients)
 	for i := range gens {
@@ -402,7 +454,13 @@ func (s *Service) serveRank(c *mpi.Comm, errs []error) {
 	if cr := s.cfg.Crash; cr != nil && cr.Shard == rank {
 		sh.dev.FailAfter(cr.At - 1) // primitive count is 0 here
 	}
-	if err := sh.init(s.opts, s.cfg.DS, s.cfg.Buckets, s.cfg.Trace); err != nil {
+	ctr, err := s.newBackend(sh.dev)
+	if err != nil {
+		errs[rank] = fmt.Errorf("server: shard %d backend: %w", rank, err)
+		c.Abort()
+		return
+	}
+	if err := sh.init(ctr, s.cfg.DS, s.cfg.Buckets, s.cfg.Trace); err != nil {
 		errs[rank] = err
 		c.Abort()
 		return
@@ -594,14 +652,32 @@ func (s *Service) cut(c *mpi.Comm, sh *shard) error {
 	return nil
 }
 
+// newBackend formats a shard's checkpoint store on a fresh device, and
+// reopenBackend reopens it from a crashed image with recovery deferred
+// (the coordinated protocol decides whether to roll back first).
+func (s *Service) newBackend(dev *nvm.Device) (CutBackend, error) {
+	if s.cfg.Backend == BackendInCLL {
+		return incll.Format(s.cfg.HeapSize, dev)
+	}
+	return core.NewContainer(dev, s.opts)
+}
+
+func (s *Service) reopenBackend(dev *nvm.Device) (CutBackend, error) {
+	if s.cfg.Backend == BackendInCLL {
+		return incll.OpenDeferRecovery(s.cfg.HeapSize, dev)
+	}
+	return core.OpenContainerDeferRecovery(dev, s.opts)
+}
+
 // dirtyEstimate feeds the policy's DirtyBytes: the plain dirty-block
 // count for stop-the-world cuts (unchanged behavior), the exact pending
 // cut footprint when the incremental pipeline is on (a PausePolicy
 // budgets against it, and in buffered mode the two differ by the
-// pending replica blocks).
+// pending replica blocks). The pipeline implies the core backend, so the
+// typed handle is always live on that path.
 func (s *Service) dirtyEstimate(sh *shard) uint64 {
 	if s.cfg.StepBudget > 0 {
-		return uint64(sh.ctr.PendingCutBytes())
+		return uint64(sh.core.PendingCutBytes())
 	}
 	return sh.dirtyBlockBytes()
 }
@@ -622,7 +698,7 @@ func (s *Service) cutBegin(sh *shard) error {
 	}
 	t0 := sh.clock.NowPS()
 	sh.rec.Begin("ckpt-begin")
-	err := sh.ctr.CheckpointBegin()
+	err := sh.core.CheckpointBegin()
 	sh.rec.End()
 	if err != nil {
 		return err
@@ -640,7 +716,7 @@ func (s *Service) cutBegin(sh *shard) error {
 // Returns the updated (cutting, committed) state.
 func (s *Service) cutStep(c *mpi.Comm, sh *shard, committed bool) (bool, bool, error) {
 	t0 := sh.clock.NowPS()
-	rem, err := sh.ctr.CheckpointStep(s.cfg.StepBudget)
+	rem, err := sh.core.CheckpointStep(s.cfg.StepBudget)
 	if err != nil {
 		return false, false, err
 	}
@@ -658,7 +734,7 @@ func (s *Service) cutStep(c *mpi.Comm, sh *shard, committed bool) (bool, bool, e
 		// epoch e state (§3.6's commit-then-barrier, incrementally).
 		t1 := sh.clock.NowPS()
 		sh.rec.Begin("ckpt-pause")
-		if err := sh.ctr.CheckpointCommit(); err != nil {
+		if err := sh.core.CheckpointCommit(); err != nil {
 			return false, false, err
 		}
 		c.Barrier()
@@ -708,7 +784,7 @@ func (s *Service) recoverAll(res *Result) {
 		sh.dev.CrashWith(s.crashPolicy(sh.id))
 	}
 	n := len(s.shards)
-	ctrs := make([]*core.Container, n)
+	ctrs := make([]CutBackend, n)
 	rerrs := make([]error, n)
 	w := mpi.NewWorld(n)
 	w.Run(func(c *mpi.Comm) {
@@ -722,7 +798,7 @@ func (s *Service) recoverAll(res *Result) {
 		rank := c.Rank()
 		sh := s.shards[rank]
 		c.AttachClock(sh.clock)
-		ctr, err := core.OpenContainerDeferRecovery(sh.dev, s.opts)
+		ctr, err := s.reopenBackend(sh.dev)
 		if err != nil {
 			rerrs[rank] = fmt.Errorf("reopen: %w", err)
 			c.Abort()

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"libcrpm/internal/alloc"
+	"libcrpm/internal/ckpt"
 	"libcrpm/internal/core"
 	"libcrpm/internal/heap"
 	"libcrpm/internal/nvm"
@@ -27,6 +28,22 @@ const (
 // root, written once at shard creation so recovery can reattach.
 const kvRootSlot = 0
 
+// CutBackend is the checkpoint surface a shard requires of its per-rank
+// store: the ckpt write/read/checkpoint contract plus the coordinated-cut
+// protocol hooks (epoch inspection, one-epoch rollback for mpi recovery, a
+// dirty-footprint estimate for byte-threshold cut policies, and tracing).
+// core.Container and incll.Backend both qualify; the incremental cut
+// pipeline and replication additionally need a *core.Container (the shard
+// keeps a typed handle when it has one).
+type CutBackend interface {
+	ckpt.Backend
+	CommittedEpoch() uint64
+	NextWriteEpoch() uint64
+	RollbackOneEpoch() error
+	DirtyEstimateBytes() uint64
+	SetTrace(*obs.Recorder)
+}
+
 // latencyBounds buckets per-request latencies (picoseconds, 1 ns up).
 var latencyBounds = obs.ExpBounds(1_000, 2, 40)
 
@@ -37,7 +54,10 @@ type shard struct {
 	id    int
 	dev   *nvm.Device
 	clock *nvm.Clock
-	ctr   *core.Container
+	ctr   CutBackend
+	// core is the typed handle when ctr is a *core.Container (nil for the
+	// incll backend); the incremental pipeline and replication require it.
+	core  *core.Container
 	alloc *alloc.Allocator
 	kv    pds.KV
 	rec   *obs.Recorder
@@ -112,13 +132,10 @@ func newShardShell(id, deviceSize int) *shard {
 	}
 }
 
-// init formats the shard's container, allocator, and KV, persisting the
-// KV root in the root array so recovery can reattach.
-func (sh *shard) init(opts core.Options, ds DSKind, buckets int, trace bool) error {
-	ctr, err := core.NewContainer(sh.dev, opts)
-	if err != nil {
-		return fmt.Errorf("server: shard %d container: %w", sh.id, err)
-	}
+// init formats the shard's allocator and KV over a freshly formatted
+// backend, persisting the KV root in the root array so recovery can
+// reattach.
+func (sh *shard) init(ctr CutBackend, ds DSKind, buckets int, trace bool) error {
 	a, err := alloc.Format(heap.New(ctr))
 	if err != nil {
 		return fmt.Errorf("server: shard %d allocator: %w", sh.id, err)
@@ -143,6 +160,7 @@ func (sh *shard) init(opts core.Options, ds DSKind, buckets int, trace bool) err
 	}
 	a.SetRoot(kvRootSlot, uint64(root))
 	sh.ctr, sh.alloc, sh.kv, sh.ds = ctr, a, kv, ds
+	sh.core, _ = ctr.(*core.Container)
 	if trace {
 		sh.rec = obs.NewRecorder(sh.clock)
 		ctr.SetTrace(sh.rec)
@@ -154,8 +172,9 @@ func (sh *shard) init(opts core.Options, ds DSKind, buckets int, trace bool) err
 // device state and rebinds the allocator and KV from the persisted root.
 // The container itself must already have been recovered (coordinated
 // protocol); reattach only rebuilds the volatile handles.
-func (sh *shard) reattach(ctr *core.Container, ds DSKind) error {
+func (sh *shard) reattach(ctr CutBackend, ds DSKind) error {
 	sh.ctr = ctr
+	sh.core, _ = ctr.(*core.Container)
 	a, err := alloc.Open(heap.New(ctr))
 	if err != nil {
 		return fmt.Errorf("server: shard %d allocator reopen: %w", sh.id, err)
@@ -282,8 +301,7 @@ func (sh *shard) snapshotForNextCut() {
 
 // dirtyBlockBytes estimates the shard's pending checkpoint footprint.
 func (sh *shard) dirtyBlockBytes() uint64 {
-	_, blocks := sh.ctr.DirtyInfo()
-	return uint64(blocks) * uint64(sh.ctr.Layout().BlkSize)
+	return sh.ctr.DirtyEstimateBytes()
 }
 
 // verify compares the KV's full contents against an expected image,

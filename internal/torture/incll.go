@@ -1,0 +1,55 @@
+// InCLL integration: the in-cache-line-logging backend as a sweep mode,
+// plus its media-fault grid. The faults corrupt everything the protocol
+// declares dead (spare meta bytes, side-log slots beyond the live heads,
+// halves owned by retired epochs) — recovery must be insensitive to all
+// of it, at every crash point, under every policy.
+package torture
+
+import (
+	"libcrpm/internal/incll"
+	"libcrpm/internal/nvm"
+)
+
+// InCLLMode runs the sweep over the incll backend. The container geometry
+// is taken from Config.Region.HeapSize; the rest of the region config
+// (segments, blocks, checksums) is meaningless for InCLL and ignored.
+func InCLLMode() Mode {
+	return Mode{
+		Name: "incll",
+		Fresh: func(cfg Config) (*nvm.Device, System, error) {
+			b, err := incll.New(cfg.Region.HeapSize)
+			if err != nil {
+				return nil, nil, err
+			}
+			return b.Device(), b, nil
+		},
+		Reopen: func(cfg Config, dev *nvm.Device) (System, error) {
+			return incll.Open(cfg.Region.HeapSize, dev)
+		},
+	}
+}
+
+// InCLLFaults is the media-fault grid for the incll sweep: bit-rot over
+// every dead range at once, and a crash-point-seeded half of them (so
+// neighbouring grid cells damage different subsets).
+func InCLLFaults() []Fault {
+	corrupt := func(cfg Config, dev *nvm.Device, k int64, keep func(i int) bool) {
+		ranges, err := incll.DeadRanges(dev, cfg.Region.HeapSize)
+		if err != nil {
+			panic(err) // becomes a violation row via the sweep's containment
+		}
+		for i, r := range ranges {
+			if keep(i) {
+				dev.CorruptRange(r.Off, r.Len)
+			}
+		}
+	}
+	return []Fault{
+		{"rot-dead-all", func(cfg Config, dev *nvm.Device, k int64) {
+			corrupt(cfg, dev, k, func(int) bool { return true })
+		}},
+		{"rot-dead-alt", func(cfg Config, dev *nvm.Device, k int64) {
+			corrupt(cfg, dev, k, func(i int) bool { return (int64(i)+k)%2 == 0 })
+		}},
+	}
+}

@@ -1,0 +1,69 @@
+package torture
+
+import (
+	"testing"
+)
+
+// TestInCLLSweep is the acceptance sweep for the incll backend: every
+// strided crash point, under the three standard policies plus the
+// alternating adversary, across the media-fault grid — zero violations,
+// with recovery landing byte-exactly on the committed shadow and the
+// container staying live.
+func TestInCLLSweep(t *testing.T) {
+	stride := 3
+	if testing.Short() {
+		stride = 17
+	}
+	cfg := Config{
+		Steps:     120,
+		CkptEvery: 30,
+		Stride:    stride,
+		Modes:     []Mode{InCLLMode()},
+		Policies:  append(StandardPolicies(1), AdversarialPolicy()),
+		Faults:    append([]Fault{{}}, InCLLFaults()...),
+		Liveness:  true,
+	}
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replays == 0 {
+		t.Fatal("sweep ran no replays")
+	}
+	// 4 policies x 3 fault cells (none, rot-dead-all, rot-dead-alt).
+	if want := 4 * 3; len(res.Points) != want {
+		t.Fatalf("grid has %d cells, want %d: %v", len(res.Points), want, res.Points)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestInCLLSweepParallelMatchesSerial pins the report byte-identical at
+// any parallelism, fault axis included.
+func TestInCLLSweepParallelMatchesSerial(t *testing.T) {
+	run := func(parallel int) Result {
+		res, err := Sweep(Config{
+			Steps:     60,
+			CkptEvery: 20,
+			Stride:    11,
+			Modes:     []Mode{InCLLMode()},
+			Faults:    InCLLFaults(),
+			Parallel:  parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	if serial.Replays != parallel.Replays || len(serial.Violations) != len(parallel.Violations) {
+		t.Fatalf("serial %d replays/%d violations, parallel %d/%d",
+			serial.Replays, len(serial.Violations), parallel.Replays, len(parallel.Violations))
+	}
+	for i := range serial.Violations {
+		if serial.Violations[i] != parallel.Violations[i] {
+			t.Fatalf("violation %d differs: %v vs %v", i, serial.Violations[i], parallel.Violations[i])
+		}
+	}
+}

@@ -19,12 +19,21 @@ import (
 	"fmt"
 	"math/rand"
 
+	"libcrpm/internal/ckpt"
 	"libcrpm/internal/core"
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/obs"
 	"libcrpm/internal/region"
 	"libcrpm/internal/sched"
 )
+
+// System is what the sweep drives: the ckpt.Backend arena contract plus
+// the committed-epoch surface the shadow diff keys on. core.Container and
+// the incll backend both qualify.
+type System interface {
+	ckpt.Backend
+	CommittedEpoch() uint64
+}
 
 // Step is one deterministic workload action: an 8-byte write, or a
 // checkpoint.
@@ -49,10 +58,38 @@ func BuildScript(seed int64, heapSize, steps, ckptEvery int) []Step {
 	return append(script, Step{Checkpoint: true})
 }
 
-// Mode is a named container configuration the sweep runs under.
+// Mode is a named checkpoint system the sweep runs under: either a core
+// container configuration (Opts) or an arbitrary backend (Fresh/Reopen).
 type Mode struct {
 	Name string
+	// Opts builds the core container options; the sweep then constructs,
+	// reopens, and fscks core containers. nil when Fresh/Reopen are set.
 	Opts func(region.Config) core.Options
+	// Fresh formats a non-core system on a fresh device and Reopen
+	// reattaches (and recovers) after a crash. Such modes skip the
+	// region fsck stage — their packages own their format checks.
+	Fresh  func(cfg Config) (*nvm.Device, System, error)
+	Reopen func(cfg Config, dev *nvm.Device) (System, error)
+}
+
+func (m Mode) fresh(cfg Config) (*nvm.Device, System, error) {
+	if m.Fresh != nil {
+		return m.Fresh(cfg)
+	}
+	l, err := region.NewLayout(cfg.Region)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev := nvm.NewDevice(l.DeviceSize())
+	c, err := core.NewContainer(dev, m.Opts(cfg.Region))
+	return dev, c, err
+}
+
+func (m Mode) reopen(cfg Config, dev *nvm.Device) (System, error) {
+	if m.Reopen != nil {
+		return m.Reopen(cfg, dev)
+	}
+	return core.OpenContainer(dev, m.Opts(cfg.Region))
 }
 
 // StandardModes covers the three protocol variants of the paper: the
@@ -62,13 +99,13 @@ type Mode struct {
 // geometries always-eager, so the lazy variant disables it explicitly.)
 func StandardModes() []Mode {
 	return []Mode{
-		{"default", func(r region.Config) core.Options {
+		{Name: "default", Opts: func(r region.Config) core.Options {
 			return core.Options{Region: r, Mode: core.ModeDefault, EagerCoWSegments: -1}
 		}},
-		{"buffered", func(r region.Config) core.Options {
+		{Name: "buffered", Opts: func(r region.Config) core.Options {
 			return core.Options{Region: r, Mode: core.ModeBuffered}
 		}},
-		{"eager-cow", func(r region.Config) core.Options {
+		{Name: "eager-cow", Opts: func(r region.Config) core.Options {
 			return core.Options{Region: r, Mode: core.ModeDefault, EagerCoWSegments: 1 << 30}
 		}},
 	}
@@ -103,6 +140,19 @@ func AdversarialPolicy() Policy {
 	}}
 }
 
+// Fault is a named media-fault injection applied to the crashed device
+// image before reopen, adding a third sweep axis (crash point x policy x
+// fault). Injections must damage only state the mode's recovery protocol
+// is specified to tolerate; the shadow diff then proves recovery still
+// lands byte-exactly on the committed epoch. A panic inside Inject
+// becomes a violation row via the sweep's panic containment.
+type Fault struct {
+	Name string
+	// Inject damages the post-crash media image; k is the crash point,
+	// for deterministic per-point variation.
+	Inject func(cfg Config, dev *nvm.Device, k int64)
+}
+
 // Config parameterizes a sweep.
 type Config struct {
 	// Region is the container geometry. Zero value gets a small
@@ -121,6 +171,11 @@ type Config struct {
 	// three of each.
 	Modes    []Mode
 	Policies []Policy
+	// Faults adds a media-fault axis: every (policy, crash point) cell is
+	// additionally replayed once per fault, with the fault injected into
+	// the crash image before reopen. nil keeps the fault-free grid (and
+	// the report format) of earlier sweeps.
+	Faults []Fault
 	// Liveness additionally verifies after each recovery that the
 	// container still works: one more write, checkpoint, clean restart,
 	// reread.
@@ -170,6 +225,8 @@ func (c Config) withDefaults() Config {
 type Violation struct {
 	Mode   string
 	Policy string
+	// Fault names the injected media fault; empty on the fault-free grid.
+	Fault string
 	// Index and Kind identify the injected crash (replayable with
 	// Device.FailAfter(Index-1)).
 	Index int64
@@ -182,8 +239,12 @@ type Violation struct {
 
 // String renders the violation with everything needed to replay it.
 func (v Violation) String() string {
-	return fmt.Sprintf("[%s/%s] crash at primitive %d (%s): %s: %s",
-		v.Mode, v.Policy, v.Index, v.Kind, v.Stage, v.Detail)
+	combo := v.Mode + "/" + v.Policy
+	if v.Fault != "" {
+		combo += "/" + v.Fault
+	}
+	return fmt.Sprintf("[%s] crash at primitive %d (%s): %s: %s",
+		combo, v.Index, v.Kind, v.Stage, v.Detail)
 }
 
 // Result summarizes a sweep.
@@ -222,34 +283,47 @@ func Sweep(cfg Config) (Result, error) {
 			}
 			res.Trace.Add("torture/"+mode.Name+"/reference", rec)
 		}
+		faults := cfg.Faults
+		if faults == nil {
+			faults = []Fault{{}}
+		}
 		for _, pol := range cfg.Policies {
-			var ks []int64
-			for k := first; k < total; k += int64(cfg.Stride) {
-				ks = append(ks, k)
-			}
-			// Replays fan out over the sched pool; each owns its device and
-			// reads only the immutable script/shadows, and the reduction is
-			// in crash-point order, so the violation list is identical to the
-			// serial sweep's.
-			vs := sched.Map(len(ks), sched.Options{Workers: cfg.Parallel}, func(i int) *Violation {
-				return replayCell(cfg, mode, pol, script, shadows, ks[i])
-			})
-			res.Replays += len(ks)
-			for _, v := range vs {
-				if v != nil {
-					res.Violations = append(res.Violations, *v)
+			for _, fault := range faults {
+				var ks []int64
+				for k := first; k < total; k += int64(cfg.Stride) {
+					ks = append(ks, k)
 				}
-			}
-			key := mode.Name + "/" + pol.Name
-			res.Points[key] = len(ks)
-			if cfg.Progress != nil {
-				bad := 0
-				for _, v := range res.Violations {
-					if v.Mode == mode.Name && v.Policy == pol.Name {
-						bad++
+				// Replays fan out over the sched pool; each owns its device and
+				// reads only the immutable script/shadows, and the reduction is
+				// in crash-point order, so the violation list is identical to the
+				// serial sweep's.
+				vs := sched.Map(len(ks), sched.Options{Workers: cfg.Parallel}, func(i int) *Violation {
+					return replayCell(cfg, mode, pol, fault, script, shadows, ks[i])
+				})
+				res.Replays += len(ks)
+				for _, v := range vs {
+					if v != nil {
+						res.Violations = append(res.Violations, *v)
 					}
 				}
-				cfg.Progress(mode.Name, pol.Name, len(ks), bad)
+				key := mode.Name + "/" + pol.Name
+				if fault.Name != "" {
+					key += "/" + fault.Name
+				}
+				res.Points[key] = len(ks)
+				if cfg.Progress != nil {
+					bad := 0
+					for _, v := range res.Violations {
+						if v.Mode == mode.Name && v.Policy == pol.Name && v.Fault == fault.Name {
+							bad++
+						}
+					}
+					polName := pol.Name
+					if fault.Name != "" {
+						polName += "/" + fault.Name
+					}
+					cfg.Progress(mode.Name, polName, len(ks), bad)
+				}
 			}
 		}
 	}
@@ -261,26 +335,28 @@ func Sweep(cfg Config) (Result, error) {
 // runToCrash expects) becomes a violation row for that crash point instead
 // of killing the sweep — at every parallelism level, so serial and parallel
 // reports agree even on protocol bugs.
-func replayCell(cfg Config, mode Mode, pol Policy, script []Step, shadows map[uint64][]byte, k int64) (v *Violation) {
+func replayCell(cfg Config, mode Mode, pol Policy, fault Fault, script []Step, shadows map[uint64][]byte, k int64) (v *Violation) {
 	defer func() {
 		if r := recover(); r != nil {
-			v = &Violation{Mode: mode.Name, Policy: pol.Name, Index: k, Stage: "panic", Detail: fmt.Sprint(r)}
+			v = &Violation{Mode: mode.Name, Policy: pol.Name, Fault: fault.Name, Index: k, Stage: "panic", Detail: fmt.Sprint(r)}
 		}
 	}()
-	return replay(cfg, mode, pol, script, shadows, k)
+	return replay(cfg, mode, pol, fault, script, shadows, k)
 }
 
 // reference runs the script without crashing, returning the primitive index
 // of the first script operation, the total primitive count, the shadow heap
 // of every committed epoch, and (when cfg.Trace) the run's phase recorder.
 func reference(cfg Config, mode Mode, script []Step) (first, total int64, shadows map[uint64][]byte, rec *obs.Recorder, err error) {
-	dev, c, err := freshContainer(cfg, mode)
+	dev, c, err := mode.fresh(cfg)
 	if err != nil {
 		return 0, 0, nil, nil, err
 	}
 	if cfg.Trace {
 		rec = obs.NewRecorder(dev.Clock())
-		c.SetTrace(rec)
+		if tb, ok := c.(obs.Traceable); ok {
+			tb.SetTrace(rec)
+		}
 	}
 	first = dev.PrimitiveCount()
 	shadows = map[uint64][]byte{0: make([]byte, c.Size())}
@@ -288,19 +364,9 @@ func reference(cfg Config, mode Mode, script []Step) (first, total int64, shadow
 	return first, dev.PrimitiveCount(), shadows, rec, nil
 }
 
-func freshContainer(cfg Config, mode Mode) (*nvm.Device, *core.Container, error) {
-	l, err := region.NewLayout(cfg.Region)
-	if err != nil {
-		return nil, nil, err
-	}
-	dev := nvm.NewDevice(l.DeviceSize())
-	c, err := core.NewContainer(dev, mode.Opts(cfg.Region))
-	return dev, c, err
-}
-
 // runScript executes the script, recording in shadows the exact state each
 // epoch commits. Panics (injected crashes) propagate to the caller.
-func runScript(c *core.Container, script []Step, shadows map[uint64][]byte) {
+func runScript(c System, script []Step, shadows map[uint64][]byte) {
 	epoch := c.CommittedEpoch()
 	for _, st := range script {
 		if st.Checkpoint {
@@ -325,10 +391,10 @@ func runScript(c *core.Container, script []Step, shadows map[uint64][]byte) {
 // replay reruns the script on a fresh device with a crash injected after
 // primitive k, applies the policy, then recovers and verifies. Returns the
 // violation found, or nil.
-func replay(cfg Config, mode Mode, pol Policy, script []Step, shadows map[uint64][]byte, k int64) *Violation {
-	dev, c, err := freshContainer(cfg, mode)
+func replay(cfg Config, mode Mode, pol Policy, fault Fault, script []Step, shadows map[uint64][]byte, k int64) *Violation {
+	dev, c, err := mode.fresh(cfg)
 	if err != nil {
-		return &Violation{Mode: mode.Name, Policy: pol.Name, Index: k, Stage: "setup", Detail: err.Error()}
+		return &Violation{Mode: mode.Name, Policy: pol.Name, Fault: fault.Name, Index: k, Stage: "setup", Detail: err.Error()}
 	}
 	// k is an absolute primitive index (counted from device creation, like
 	// the reference run); the countdown starts now, after Format already
@@ -338,14 +404,16 @@ func replay(cfg Config, mode Mode, pol Policy, script []Step, shadows map[uint64
 	if !ok {
 		// The countdown never fired (k beyond this run — cannot happen when
 		// k < total from the reference, since runs are deterministic).
-		return &Violation{Mode: mode.Name, Policy: pol.Name, Index: k, Stage: "setup",
+		return &Violation{Mode: mode.Name, Policy: pol.Name, Fault: fault.Name, Index: k, Stage: "setup",
 			Detail: "replay diverged from reference: crash point never reached"}
 	}
 	dev.CrashWith(pol.New(k))
+	if fault.Inject != nil {
+		fault.Inject(cfg, dev, k)
+	}
 
-	v := &Violation{Mode: mode.Name, Policy: pol.Name, Index: crash.Index, Kind: crash.Kind}
-	opts := mode.Opts(cfg.Region)
-	rc, err := core.OpenContainer(dev, opts)
+	v := &Violation{Mode: mode.Name, Policy: pol.Name, Fault: fault.Name, Index: crash.Index, Kind: crash.Kind}
+	rc, err := mode.reopen(cfg, dev)
 	if err != nil {
 		v.Stage, v.Detail = "reopen", err.Error()
 		return v
@@ -360,12 +428,16 @@ func replay(cfg Config, mode Mode, pol Policy, script []Step, shadows map[uint64
 		v.Stage, v.Detail = "shadow-diff", fmt.Sprintf("heap differs from committed epoch %d at byte %d", e, firstDiff(got, shadow))
 		return v
 	}
-	if r := region.Check(dev, rc.Layout(), false); !r.OK() {
-		v.Stage, v.Detail = "fsck", r.Issues[0]
-		return v
+	// The region fsck applies only to core containers; external backends'
+	// packages own their format checks.
+	if cc, isCore := rc.(*core.Container); isCore {
+		if r := region.Check(dev, cc.Layout(), false); !r.OK() {
+			v.Stage, v.Detail = "fsck", r.Issues[0]
+			return v
+		}
 	}
 	if cfg.Liveness {
-		if detail := checkLiveness(dev, rc, opts, e); detail != "" {
+		if detail := checkLiveness(cfg, mode, dev, rc, e); detail != "" {
 			v.Stage, v.Detail = "liveness", detail
 			return v
 		}
@@ -375,7 +447,7 @@ func replay(cfg Config, mode Mode, pol Policy, script []Step, shadows map[uint64
 
 // runToCrash executes the script expecting an injected crash; ok reports
 // whether one fired.
-func runToCrash(c *core.Container, script []Step) (crash nvm.InjectedCrash, ok bool) {
+func runToCrash(c System, script []Step) (crash nvm.InjectedCrash, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			ic, isCrash := r.(nvm.InjectedCrash)
@@ -391,7 +463,7 @@ func runToCrash(c *core.Container, script []Step) (crash nvm.InjectedCrash, ok b
 
 // checkLiveness verifies the recovered container still functions: write,
 // checkpoint, clean restart, reread.
-func checkLiveness(dev *nvm.Device, c *core.Container, opts core.Options, e uint64) string {
+func checkLiveness(cfg Config, mode Mode, dev *nvm.Device, c System, e uint64) string {
 	const probe = uint64(0xD15EA5ED0DDBA11)
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], probe)
@@ -401,7 +473,7 @@ func checkLiveness(dev *nvm.Device, c *core.Container, opts core.Options, e uint
 		return fmt.Sprintf("checkpoint after recovery: %v", err)
 	}
 	dev.CrashDropAll()
-	rc, err := core.OpenContainer(dev, opts)
+	rc, err := mode.reopen(cfg, dev)
 	if err != nil {
 		return fmt.Sprintf("reopen after post-recovery checkpoint: %v", err)
 	}
