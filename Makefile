@@ -51,6 +51,14 @@ replica:
 	$(GO) test -race -run 'Replica|SLA|Failover|AbortedIncrementalCut|KillPrimary' ./internal/server/ ./internal/mpi/ ./internal/torture/
 	$(GO) run ./cmd/crpmserve -shards 4 -clients 8 -mix b -ops 200000 -replicas 2 -sla mix -killprimary 1
 
+# Open-loop latency SLO study: race-mode sweep over the measurement rig,
+# a coordinated-omission-free crpmserve run at fixed offered load, then
+# the throughput-vs-p99 curve per backend x cut policy (see DESIGN.md §14).
+slo:
+	$(GO) test -race ./internal/measure/
+	$(GO) run ./cmd/crpmserve -shards 4 -clients 8 -mix a -target 4e6 -duration 50ms -warmup 20000 -dist uniform
+	$(GO) run ./cmd/crpmbench -exp slo
+
 # Regenerate every table and figure of the paper's evaluation.
 results:
 	$(GO) run ./cmd/crpmbench -exp all -scale small

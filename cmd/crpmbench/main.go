@@ -8,7 +8,8 @@
 //	crpmbench -list
 //
 // Experiments: fig1, fig7, fig8, fig9, fig10a, fig10b, table1a, table1b,
-// service, crossover, recovery, storage, ablations, all.
+// service, replica, crossover, slo, recovery, pauses, storage, ablations,
+// all.
 package main
 
 import (
@@ -88,6 +89,7 @@ func experiments() []experiment {
 			}
 			return []harness.Table{x, m, s}, nil
 		}},
+		{"slo", "open-loop throughput vs p99 latency per backend x cut policy, coordinated-omission-free (extension)", one(harness.SLOFigure)},
 		{"recovery", "LULESH recovery time (§5.5)", one(harness.RecoveryTime)},
 		{"pauses", "checkpoint pause-time distribution (extension)", one(harness.PauseTimes)},
 		{"storage", "storage cost of LULESH (§5.6)", one(harness.StorageCost)},

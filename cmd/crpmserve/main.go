@@ -11,6 +11,14 @@
 //	crpmserve -shards 4 -clients 8 -mix a -ops 200000 -json serve.json
 //	crpmserve -replicas 2 -sla mix -mix b -ops 200000
 //	crpmserve -replicas 2 -sla bounded:2@1ms -killprimary 1
+//	crpmserve -target 4e6 -duration 50ms -warmup 20000 -dist uniform
+//	crpmserve -target 8e6 -ops 400000 -status
+//
+// -target turns the run open-loop: requests arrive on a fixed-rate schedule
+// of simulated timestamps and latency is charged from each op's intended
+// arrival, so queueing behind a checkpoint pause is billed to every waiting
+// op (coordinated-omission-free). With -duration the run is time-bounded
+// (the op count follows from the offered load); otherwise -ops bounds it.
 //
 // All output on stdout (and in -json / -trace files) is a pure function of
 // the flags: timestamps are simulated picoseconds and streams are label-hash
@@ -30,6 +38,7 @@ import (
 
 	"libcrpm/internal/core"
 	"libcrpm/internal/harness"
+	"libcrpm/internal/measure"
 	"libcrpm/internal/obs"
 	"libcrpm/internal/replica"
 	"libcrpm/internal/server"
@@ -66,6 +75,35 @@ func validateReplFlags(replicas int, slaSpec string, killPrimary, shards int) ([
 	return set, nil
 }
 
+// validateMeasureFlags checks the open-loop flag set. The rig is strictly
+// opt-in via -target: -duration and -warmup shape the arrival schedule, so
+// they are meaningless without one.
+func validateMeasureFlags(target float64, duration time.Duration, warmup int) (*measure.Config, error) {
+	if target < 0 {
+		return nil, fmt.Errorf("%w: -target %v is negative", ErrBadFlags, target)
+	}
+	if target == 0 {
+		if duration > 0 {
+			return nil, fmt.Errorf("%w: -duration requires -target > 0 (no arrival schedule to bound)", ErrBadFlags)
+		}
+		if warmup > 0 {
+			return nil, fmt.Errorf("%w: -warmup requires -target > 0 (no measured window to open)", ErrBadFlags)
+		}
+		return nil, nil
+	}
+	if duration < 0 {
+		return nil, fmt.Errorf("%w: -duration %v is negative", ErrBadFlags, duration)
+	}
+	if warmup < 0 {
+		return nil, fmt.Errorf("%w: -warmup %d is negative", ErrBadFlags, warmup)
+	}
+	return &measure.Config{
+		TargetOps:  target,
+		WarmupOps:  warmup,
+		DurationPS: duration.Nanoseconds() * 1000,
+	}, nil
+}
+
 func main() { os.Exit(run()) }
 
 func run() int {
@@ -85,6 +123,11 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "verification cells in flight (0 = GOMAXPROCS); never changes output bytes")
 	jsonPath := flag.String("json", "", "write per-shard and aggregate metrics (harness table schema) to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of per-shard spans to this file")
+	target := flag.Float64("target", 0, "open-loop offered load in ops per simulated second (0 = closed-loop); latency is then also charged from each op's intended arrival")
+	duration := flag.Duration("duration", 0, "time-bound the measured window in simulated time (requires -target; overrides -ops)")
+	warmup := flag.Int("warmup", 0, "leading ops excluded from the measured histograms (requires -target)")
+	distName := flag.String("dist", "", "override the mix's key distribution: zipfian | uniform | latest | hotspot | exponential")
+	status := flag.Bool("status", false, "live progress line on stderr (never affects stdout bytes)")
 	replicas := flag.Int("replicas", 0, "secondaries per shard, installing committed cut deltas asynchronously (0 = replication off)")
 	slaSpec := flag.String("sla", "", "read SLA set assigned round-robin to clients: mix | strong | rmw | monotonic | bounded:K | eventual, each with an optional @DUR latency target (requires -replicas)")
 	killPrimary := flag.Int("killprimary", -1, "crash this shard's primary mid-serve and fail over to its most-current secondary (requires -replicas)")
@@ -94,6 +137,14 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	if *distName != "" {
+		d, err := workload.ParseDist(*distName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		mix.Dist = d
 	}
 	policy, err := server.ParsePolicy(*policySpec)
 	if err != nil {
@@ -128,12 +179,21 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	mcfg, err := validateMeasureFlags(*target, *duration, *warmup)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	opCount := *ops
+	if mcfg != nil && mcfg.DurationPS > 0 {
+		opCount = 0 // time-bounded: the op count follows from the offered load
+	}
 
 	cfg := server.Config{
 		Shards:     *shards,
 		Clients:    *clients,
 		Mix:        mix,
-		Ops:        *ops,
+		Ops:        opCount,
 		Keys:       *keys,
 		DS:         kind,
 		Backend:    store,
@@ -148,6 +208,15 @@ func run() int {
 		Trace:      *tracePath != "" || *jsonPath != "",
 		Replicas:   *replicas,
 		SLAs:       slas,
+		Measure:    mcfg,
+	}
+	if *status {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d ops issued", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 	wallStart := time.Now()
 	if *killPrimary >= 0 {
@@ -181,6 +250,12 @@ func run() int {
 
 	t := buildTable(cfg, *backend, *ds, res)
 	fmt.Println(t)
+	tables := []harness.Table{t}
+	if res.Measure != nil {
+		mt := buildMeasureTable(res.Measure)
+		fmt.Println(mt)
+		tables = append(tables, mt)
+	}
 	if res.FailedOver {
 		fmt.Printf("failover: shard %d promoted secondary %d at cut epoch %d (crash at primitive %d)\n",
 			res.CrashedShard, res.PromotedReplica, res.PromotedEpoch, cfg.Crash.At)
@@ -188,7 +263,7 @@ func run() int {
 	fmt.Fprintf(os.Stderr, "served %d ops on %d shards in %v wall\n", res.TotalOps, cfg.Shards, wall.Round(time.Millisecond))
 
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, t); err != nil {
+		if err := writeJSON(*jsonPath, tables); err != nil {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)
 			return 1
 		}
@@ -312,32 +387,78 @@ func buildTable(cfg server.Config, backend, ds string, res *server.Result) harne
 	return t
 }
 
+// buildMeasureTable renders the open-loop measurement report: the
+// omission-free (open) and service-time latency tracks side by side, per
+// op kind, plus the achieved-throughput and timeseries summary the SLO
+// curves are built from. Every value is simulated-clock derived.
+func buildMeasureTable(m *measure.Report) harness.Table {
+	t := harness.Table{
+		Title: fmt.Sprintf("open-loop measurement: target %.0f ops/s, achieved %.0f ops/s, %d measured ops (%d warmup excluded)",
+			m.TargetOps, m.AchievedOps, m.MeasuredOps, m.WarmupOps),
+		Header: []string{"track", "kind", "n", "p50-us", "p95-us", "p99-us", "p999-us", "max-us", "mean-us"},
+		Notes: []string{
+			"open: latency from each op's intended arrival (queueing behind cut pauses is charged); service: from dispatch",
+		},
+	}
+	ps2us := func(ps int64) string { return fmt.Sprintf("%.3f", float64(ps)/1e6) }
+	add := func(track string, ks ...measure.KindStat) {
+		for _, k := range ks {
+			t.Rows = append(t.Rows, []string{
+				track, k.Kind,
+				fmt.Sprintf("%d", k.N),
+				ps2us(k.P50PS), ps2us(k.P95PS), ps2us(k.P99PS), ps2us(k.P999PS),
+				ps2us(k.MaxPS), ps2us(k.MeanPS),
+			})
+		}
+	}
+	add("open", m.OpenAll)
+	add("open", m.Open...)
+	add("service", m.ServiceAll)
+	add("service", m.Service...)
+	if n := len(m.Intervals); n > 0 {
+		worst := m.Intervals[0]
+		for _, iv := range m.Intervals[1:] {
+			if iv.OpenP99PS > worst.OpenP99PS {
+				worst = iv
+			}
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"timeseries: %d intervals of %.3f ms; worst interval #%d (open p99 %s us, %d ops)",
+			n, float64(m.IntervalPS)/1e9, worst.Index, ps2us(worst.OpenP99PS), worst.Ops))
+		t.AddMetric("serve_worst_interval_open_p99_us", float64(worst.OpenP99PS)/1e6)
+	}
+	t.AddMetric("serve_target_ops", m.TargetOps)
+	t.AddMetric("serve_achieved_ops", m.AchievedOps)
+	t.AddMetric("serve_measured_ops", float64(m.MeasuredOps))
+	t.AddMetric("serve_open_p99_us", float64(m.OpenAll.P99PS)/1e6)
+	t.AddMetric("serve_open_p999_us", float64(m.OpenAll.P999PS)/1e6)
+	t.AddMetric("serve_svc_open_gap_p99_us", float64(m.OpenAll.P99PS-m.ServiceAll.P99PS)/1e6)
+	t.AddMetric("serve_service_p99_us", float64(m.ServiceAll.P99PS)/1e6)
+	return t
+}
+
 // writeJSON emits the crpmbench trajectory schema (experiments → tables →
 // metrics) with no wall-clock fields, so the file is byte-identical across
 // runs and joins BENCH_*.json diffs directly.
-func writeJSON(path string, t harness.Table) error {
+func writeJSON(path string, tables []harness.Table) error {
+	type jsonTable struct {
+		Title   string             `json:"title"`
+		Metrics map[string]float64 `json:"metrics,omitempty"`
+	}
 	out := struct {
 		Experiments []struct {
-			Name   string `json:"name"`
-			Tables []struct {
-				Title   string             `json:"title"`
-				Metrics map[string]float64 `json:"metrics,omitempty"`
-			} `json:"tables"`
+			Name   string      `json:"name"`
+			Tables []jsonTable `json:"tables"`
 		} `json:"experiments"`
 	}{}
-	out.Experiments = append(out.Experiments, struct {
-		Name   string `json:"name"`
-		Tables []struct {
-			Title   string             `json:"title"`
-			Metrics map[string]float64 `json:"metrics,omitempty"`
-		} `json:"tables"`
-	}{
-		Name: "serve",
-		Tables: []struct {
-			Title   string             `json:"title"`
-			Metrics map[string]float64 `json:"metrics,omitempty"`
-		}{{Title: t.Title, Metrics: t.Metrics}},
-	})
+	exp := struct {
+		Name   string      `json:"name"`
+		Tables []jsonTable `json:"tables"`
+	}{Name: "serve"}
+	for _, t := range tables {
+		exp.Tables = append(exp.Tables, jsonTable{Title: t.Title, Metrics: t.Metrics})
+	}
+	out.Experiments = append(out.Experiments, exp)
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

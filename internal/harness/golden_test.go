@@ -39,6 +39,8 @@ func TestGoldenFigures(t *testing.T) {
 		{"fig7", func() (Table, error) { return Fig7Throughput(sc, DSHashMap) }},
 		{"service", func() (Table, error) { return ServiceFigure(sc) }},
 		{"replica", func() (Table, error) { return ReplicaFigure(sc) }},
+		{"crossover", func() (Table, error) { return CrossoverFigure(sc) }},
+		{"slo", func() (Table, error) { return SLOFigure(sc) }},
 	}
 	update := os.Getenv("UPDATE_GOLDEN") != ""
 	for _, fig := range figures {

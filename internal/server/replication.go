@@ -6,6 +6,7 @@ import (
 	"libcrpm/internal/alloc"
 	"libcrpm/internal/core"
 	"libcrpm/internal/heap"
+	"libcrpm/internal/measure"
 	"libcrpm/internal/mpi"
 	"libcrpm/internal/obs"
 	"libcrpm/internal/pds"
@@ -60,8 +61,8 @@ func (s *Service) initReplicas(sh *shard) error {
 	sh.reps = g
 	sh.secKV = make([]pds.KV, g.Len())
 	sh.cstate = make([]replica.ClientState, s.cfg.Clients)
-	sh.readLat = newHist(latencyBounds)
-	sh.stale = newHist(obs.StalenessBounds)
+	sh.readLat = measure.NewHistogram(latencyBounds)
+	sh.stale = measure.NewHistogram(obs.StalenessBounds)
 	return nil
 }
 
@@ -135,7 +136,7 @@ func (s *Service) applySLA(sh *shard, seq int, op workload.Op) error {
 		return s.applyRead(sh, seq, client, cs, op)
 	}
 	next := sh.ctr.NextWriteEpoch()
-	if err := sh.apply(op); err != nil {
+	if err := sh.apply(seq, op); err != nil {
 		return err
 	}
 	cs.WriteEpoch = next
@@ -197,7 +198,7 @@ func (s *Service) applyRead(sh *shard, seq, client int, cs *replica.ClientState,
 		lat = (clk.NowPS() - t0) + plan.RTTPS
 		sh.secReads++
 		sh.staleSum += plan.Staleness
-		sh.stale.observe(int64(plan.Staleness))
+		sh.stale.Observe(int64(plan.Staleness))
 		sh.rec.Observe("replica/staleness_epochs", obs.StalenessBounds, int64(plan.Staleness))
 		if sla.Level == replica.BoundedStaleness && plan.Staleness > sla.Bound {
 			sh.repViol = append(sh.repViol, fmt.Sprintf(
@@ -208,8 +209,8 @@ func (s *Service) applyRead(sh *shard, seq, client int, cs *replica.ClientState,
 		sh.unmetReads++
 	}
 	cs.ObserveRead(plan.View)
-	sh.readLat.observe(lat)
-	sh.lat.observe(lat)
+	sh.readLat.Observe(lat)
+	sh.lat.Observe(lat)
 	sh.rec.Observe("req-latency", latencyBounds, lat)
 	sh.acked++
 	sh.sinceCut++

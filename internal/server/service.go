@@ -9,6 +9,7 @@ import (
 
 	"libcrpm/internal/core"
 	"libcrpm/internal/incll"
+	"libcrpm/internal/measure"
 	"libcrpm/internal/mpi"
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/obs"
@@ -42,6 +43,12 @@ var ErrInCLLReplicas = errors.New("server: the incll backend does not support re
 // nothing to drain through bounded quanta.
 var ErrInCLLIncremental = errors.New("server: the incll backend does not support the incremental cut pipeline (checkpoints are already O(1))")
 
+// ErrMeasureReplicas rejects Replicas > 0 with the open-loop measurement
+// rig: SLA-routed reads acknowledge on replica clocks outside the arrival
+// schedule, so open-loop latency accounting would mix clock domains. The
+// throughput-vs-p99 study is a backend × cut-policy surface.
+var ErrMeasureReplicas = errors.New("server: the open-loop measurement rig does not support replication (SLA reads acknowledge outside the arrival schedule)")
+
 // CrashSpec injects a power failure into a run for torture testing.
 type CrashSpec struct {
 	// Shard is the rank whose device crashes.
@@ -62,8 +69,26 @@ type Config struct {
 	Shards, Clients int
 	// Mix is the YCSB workload.
 	Mix workload.YCSBMix
-	// Ops is the total request count across all clients.
+	// Ops is the total request count across all clients. With Measure set
+	// and a positive Measure.DurationPS, Ops may be zero: the count is
+	// derived from the offered load (time-bounded run).
 	Ops int
+	// Measure, when non-nil, turns the run open-loop: every request gets
+	// an intended start on the simulated clock from a target-throughput
+	// arrival schedule, idle shards advance to the next arrival, and
+	// Result.Measure reports coordinated-omission-free latency (charged
+	// from intended start) next to service time (charged from dispatch),
+	// with warmup exclusion, per-op-kind tracks, and a per-interval
+	// timeseries. nil keeps the closed-loop behavior byte-identical.
+	// Excludes Replicas.
+	Measure *measure.Config
+	// Progress, when non-nil, is invoked by shard 0 at every batch
+	// boundary with the exact count of globally issued requests (the
+	// round-robin interleave makes batch bounds global). Purely advisory —
+	// it feeds live status lines and never affects the result bytes. It
+	// runs on shard 0's serving goroutine: keep it cheap and do not touch
+	// the service from inside it.
+	Progress func(done, total int)
 	// Keys is the initially populated key-space size.
 	Keys uint64
 	// DS selects the per-shard structure (default DSHashMap).
@@ -126,6 +151,20 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Clients < 1 {
 		return c, fmt.Errorf("server: need at least one client, have %d", c.Clients)
+	}
+	if c.Measure != nil {
+		m, err := c.Measure.WithDefaults()
+		if err != nil {
+			return c, err
+		}
+		c.Measure = &m
+		if c.Ops == 0 {
+			// Time-bounded run: the op count follows from the offered load.
+			c.Ops = m.Ops()
+		}
+		if c.Replicas > 0 {
+			return c, ErrMeasureReplicas
+		}
 	}
 	if c.Ops < 1 {
 		return c, ErrNoOps
@@ -327,6 +366,10 @@ type Result struct {
 	Writes []WriteAudit
 	// Violations is empty iff every consistency check passed.
 	Violations []Violation
+	// Measure is the merged open-loop measurement report (Config.Measure
+	// != nil; nil otherwise). Shard collectors merge in shard order, so
+	// the report is a pure function of the config.
+	Measure *measure.Report
 	// Trace holds one track per shard when Config.Trace is set.
 	Trace *obs.Trace
 }
@@ -386,6 +429,26 @@ func (s *Service) Run() (*Result, error) {
 		}
 	}
 	s.fillStats(res)
+	if s.cfg.Measure != nil {
+		// Reduce shard collectors in shard order. Every anchored shard
+		// shares the same barrier-aligned schedule; a shard that crashed
+		// before anchoring contributes nothing.
+		var agg *measure.Collector
+		for _, sh := range s.shards {
+			if sh.meas == nil {
+				continue
+			}
+			if agg == nil {
+				agg = measure.NewCollector(*s.cfg.Measure, sh.msched)
+			}
+			if err := agg.Merge(sh.meas); err != nil {
+				return nil, fmt.Errorf("server: merging measurement collectors: %w", err)
+			}
+		}
+		if agg != nil {
+			res.Measure = agg.Report(s.cfg.Measure.TargetOps)
+		}
+	}
 	if s.cfg.Trace {
 		res.Trace = &obs.Trace{}
 		for _, sh := range s.shards {
@@ -500,6 +563,14 @@ func (s *Service) serve(c *mpi.Comm, sh *shard) error {
 		return err
 	}
 	sh.primBase = sh.dev.PrimitiveCount()
+	if m := s.cfg.Measure; m != nil {
+		// The populate cut above ends in a barrier, so every rank's clock
+		// reads the identical timestamp here: anchoring the arrival
+		// schedule at it gives all shards the same intended timestamps
+		// with no extra coordination.
+		sh.msched = measure.NewSchedule(sh.clock.NowPS(), *m)
+		sh.meas = measure.NewCollector(*m, sh.msched)
+	}
 	my := s.streams[sh.id]
 	idx := 0
 	incremental := s.cfg.StepBudget > 0
@@ -515,12 +586,19 @@ func (s *Service) serve(c *mpi.Comm, sh *shard) error {
 			if sh.reps != nil {
 				err = s.applySLA(sh, my[idx].seq, my[idx].op)
 			} else {
-				err = sh.apply(my[idx].op)
+				err = sh.apply(my[idx].seq, my[idx].op)
 			}
 			if err != nil {
 				return err
 			}
 			idx++
+		}
+		if s.cfg.Progress != nil && sh.id == 0 {
+			done := hi
+			if done > s.cfg.Ops {
+				done = s.cfg.Ops
+			}
+			s.cfg.Progress(done, s.cfg.Ops)
 		}
 		if sh.reps != nil {
 			// Batch boundary: install every shipped delta whose simulated
@@ -913,12 +991,12 @@ func (s *Service) fillStats(res *Result) {
 			Ops:         sh.acked,
 			Cuts:        sh.cuts,
 			SimPS:       sh.simEndPS,
-			P50LatPS:    sh.lat.quantile(0.50),
-			P99LatPS:    sh.lat.quantile(0.99),
-			P999LatPS:   sh.lat.quantile(0.999),
-			MaxLatPS:    sh.lat.max,
-			P99PausePS:  sh.pause.quantile(0.99),
-			P999PausePS: sh.pause.quantile(0.999),
+			P50LatPS:    sh.lat.Quantile(0.50),
+			P99LatPS:    sh.lat.Quantile(0.99),
+			P999LatPS:   sh.lat.Quantile(0.999),
+			MaxLatPS:    sh.lat.Max(),
+			P99PausePS:  sh.pause.Quantile(0.99),
+			P999PausePS: sh.pause.Quantile(0.999),
 			PauseMaxPS:  sh.pauseMaxPS,
 			Crashed:     sh.crashed,
 			CrashIndex:  sh.crashIndex,
@@ -932,14 +1010,14 @@ func (s *Service) fillStats(res *Result) {
 		if sh.reps != nil {
 			st.SecReads = sh.secReads
 			st.UnmetReads = sh.unmetReads
-			st.P99ReadLatPS = sh.readLat.quantile(0.99)
-			if sh.stale.n > 0 {
-				st.StaleMeanEpochs = float64(sh.staleSum) / float64(sh.stale.n)
+			st.P99ReadLatPS = sh.readLat.Quantile(0.99)
+			if sh.stale.N() > 0 {
+				st.StaleMeanEpochs = float64(sh.staleSum) / float64(sh.stale.N())
 			}
 			res.SecReads += sh.secReads
 			res.UnmetReads += sh.unmetReads
 			staleSum += sh.staleSum
-			staleN += uint64(sh.stale.n)
+			staleN += uint64(sh.stale.N())
 			res.Reads = append(res.Reads, sh.reads...)
 			res.Writes = append(res.Writes, sh.writes...)
 		}

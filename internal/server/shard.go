@@ -8,6 +8,7 @@ import (
 	"libcrpm/internal/ckpt"
 	"libcrpm/internal/core"
 	"libcrpm/internal/heap"
+	"libcrpm/internal/measure"
 	"libcrpm/internal/nvm"
 	"libcrpm/internal/obs"
 	"libcrpm/internal/pds"
@@ -73,8 +74,8 @@ type shard struct {
 	sinceCut uint64 // ops acked since the last cut
 	cuts     int
 
-	lat                      hist
-	pause                    hist
+	lat                      *measure.Histogram
+	pause                    *measure.Histogram
 	pauseTotalPS, pauseMaxPS int64
 	cutStartPS               int64
 	// roundPS is the aligned clock at the previous policy decision, the
@@ -88,7 +89,14 @@ type shard struct {
 	// acks into pendAcks; releaseAcks acknowledges them after the next
 	// checkpoint quantum's fence, so per-op latency absorbs the fence wait.
 	groupAck bool
-	pendAcks []int64 // deferred request start times (simulated ps)
+	pendAcks []pendAck
+
+	// Open-loop measurement (Config.Measure != nil; both stay nil/zero
+	// otherwise, so the rig-off paths are byte-identical to a build
+	// without the rig). msched maps global sequence numbers to intended
+	// arrival timestamps; meas accumulates omission-free latencies.
+	msched measure.Schedule
+	meas   *measure.Collector
 
 	// primBase and primEnd bound the serving phase in device primitive
 	// indices: crash points in [primBase, primEnd) hit live request
@@ -107,8 +115,8 @@ type shard struct {
 	secKV                []pds.KV       // lazily opened read handles over secondary containers
 	pendDelta            *replica.Delta // captured at cutBegin, shipped at the commit barrier
 	cstate               []replica.ClientState
-	readLat              hist // SLA-routed read latency (RTT + replica work)
-	stale                hist // staleness of secondary-served reads, epochs
+	readLat              *measure.Histogram // SLA-routed read latency (RTT + replica work)
+	stale                *measure.Histogram // staleness of secondary-served reads, epochs
 	staleSum             uint64
 	secReads, unmetReads uint64
 	repViol              []string // online secondary-read verification failures
@@ -127,8 +135,8 @@ func newShardShell(id, deviceSize int) *shard {
 		clock:  dev.Clock(),
 		shadow: make(map[uint64]uint64),
 		snaps:  make(map[uint64]map[uint64]uint64),
-		lat:    newHist(latencyBounds),
-		pause:  newHist(obs.PauseBounds),
+		lat:    measure.NewHistogram(latencyBounds),
+		pause:  measure.NewHistogram(obs.PauseBounds),
 	}
 }
 
@@ -195,10 +203,36 @@ func (sh *shard) reattach(ctr CutBackend, ds DSKind) error {
 	return nil
 }
 
+// pendAck is one group-committed request awaiting its quantum fence:
+// enough identity to acknowledge it later on both the closed-loop track
+// (latency from dispatch) and, under the measurement rig, the open-loop
+// track (latency from intended start).
+type pendAck struct {
+	kind       workload.OpKind
+	seq        int
+	startPS    int64
+	intendedPS int64
+}
+
 // apply executes one acked request against the KV and mirrors its effect
-// into the volatile shadow. Latency is the simulated time the request
-// consumed on this shard.
-func (sh *shard) apply(op workload.Op) error {
+// into the volatile shadow. seq is the request's global sequence number
+// (its round-robin interleave position across all clients). Latency is
+// the simulated time the request consumed on this shard.
+//
+// Under the open-loop rig the request also has an intended arrival on the
+// shard's schedule: if the shard is idle ahead of it the clock advances to
+// the arrival (idle waiting adds no device primitives, so crash-injection
+// indices are untouched); if the shard is running behind, the op has been
+// queueing and the open-loop latency charges that wait — the
+// coordinated-omission-free accounting the rig exists for.
+func (sh *shard) apply(seq int, op workload.Op) error {
+	var intended int64
+	if sh.meas != nil {
+		intended = sh.msched.IntendedPS(seq)
+		if now := sh.clock.NowPS(); now < intended {
+			sh.clock.Advance(intended - now)
+		}
+	}
 	t0 := sh.clock.NowPS()
 	switch op.Kind {
 	case workload.OpRead:
@@ -224,12 +258,14 @@ func (sh *shard) apply(op workload.Op) error {
 		return fmt.Errorf("server: shard %d: unknown op kind %v", sh.id, op.Kind)
 	}
 	if sh.groupAck {
-		sh.pendAcks = append(sh.pendAcks, t0)
+		sh.pendAcks = append(sh.pendAcks, pendAck{kind: op.Kind, seq: seq, startPS: t0, intendedPS: intended})
 		return nil
 	}
-	lat := sh.clock.NowPS() - t0
-	sh.lat.observe(lat)
+	done := sh.clock.NowPS()
+	lat := done - t0
+	sh.lat.Observe(lat)
 	sh.rec.Observe("req-latency", latencyBounds, lat)
+	sh.meas.Observe(op.Kind, seq, intended, t0, done)
 	sh.acked++
 	sh.sinceCut++
 	return nil
@@ -243,10 +279,11 @@ func (sh *shard) releaseAcks() {
 		return
 	}
 	now := sh.clock.NowPS()
-	for _, t0 := range sh.pendAcks {
-		lat := now - t0
-		sh.lat.observe(lat)
+	for _, p := range sh.pendAcks {
+		lat := now - p.startPS
+		sh.lat.Observe(lat)
 		sh.rec.Observe("req-latency", latencyBounds, lat)
+		sh.meas.Observe(p.kind, p.seq, p.intendedPS, p.startPS, now)
 		sh.acked++
 		sh.sinceCut++
 	}
@@ -260,7 +297,7 @@ func (sh *shard) observePause(ps int64) {
 	if ps <= 0 {
 		return
 	}
-	sh.pause.observe(ps)
+	sh.pause.Observe(ps)
 	sh.pauseTotalPS += ps
 	if ps > sh.pauseMaxPS {
 		sh.pauseMaxPS = ps
@@ -362,53 +399,4 @@ func verifyKV(kv pds.KV, want map[uint64]uint64) []string {
 	report("wrong", wrong)
 	report("extra", extra)
 	return bad
-}
-
-// hist is a fixed-bound exponential histogram with exact count/max, used
-// for deterministic latency and pause quantiles.
-type hist struct {
-	bounds []int64
-	counts []int64
-	n      int64
-	max    int64
-}
-
-func newHist(bounds []int64) hist {
-	return hist{bounds: bounds, counts: make([]int64, len(bounds)+1)}
-}
-
-func (h *hist) observe(v int64) {
-	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
-	h.counts[i]++
-	h.n++
-	if v > h.max {
-		h.max = v
-	}
-}
-
-// quantile returns the upper bound of the bucket containing the q-th
-// quantile observation (the exact max for the overflow bucket and for
-// q=1). Zero observations yield zero.
-func (h *hist) quantile(q float64) int64 {
-	if h.n == 0 {
-		return 0
-	}
-	rank := int64(q * float64(h.n))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank >= h.n {
-		return h.max
-	}
-	var cum int64
-	for i, c := range h.counts {
-		cum += c
-		if cum >= rank {
-			if i == len(h.bounds) {
-				return h.max
-			}
-			return h.bounds[i]
-		}
-	}
-	return h.max
 }

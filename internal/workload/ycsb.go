@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 )
@@ -60,6 +61,23 @@ const (
 	DistZipfian Dist = iota
 	DistUniform
 	DistLatest
+	// DistHotspot concentrates HotspotOpnFrac of the requests on the
+	// first HotspotDataFrac of the key space (YCSB's hotspot generator).
+	DistHotspot
+	// DistExponential draws keys from an exponential distribution tuned
+	// so ExpPercentile of the requests land in the first ExpFrac of the
+	// key space (YCSB's exponential generator).
+	DistExponential
+)
+
+// YCSB's default hotspot and exponential shape parameters
+// (hotspotdatafraction/hotspotopnfraction and
+// exponential.percentile/exponential.frac in the reference distribution).
+const (
+	HotspotDataFrac = 0.2
+	HotspotOpnFrac  = 0.8
+	ExpPercentile   = 0.95
+	ExpFrac         = 0.10
 )
 
 // String names the distribution.
@@ -71,9 +89,23 @@ func (d Dist) String() string {
 		return "uniform"
 	case DistLatest:
 		return "latest"
+	case DistHotspot:
+		return "hotspot"
+	case DistExponential:
+		return "exponential"
 	default:
 		return fmt.Sprintf("Dist(%d)", uint8(d))
 	}
+}
+
+// ParseDist resolves a distribution name (as printed by String).
+func ParseDist(name string) (Dist, error) {
+	for _, d := range []Dist{DistZipfian, DistUniform, DistLatest, DistHotspot, DistExponential} {
+		if d.String() == strings.ToLower(name) {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown distribution %q (zipfian|uniform|latest|hotspot|exponential)", name)
 }
 
 // YCSBMix is one YCSB core workload: operation proportions (summing to 1)
@@ -203,6 +235,27 @@ func (g *Generator) chooseKey() uint64 {
 		high := g.high()
 		r := g.zipf.NextRank(g.rng) % high
 		return high - 1 - r
+	case DistHotspot:
+		// HotspotOpnFrac of the requests hit the hot HotspotDataFrac
+		// prefix of the key space, the rest spread uniformly over the
+		// cold remainder.
+		high := g.high()
+		hot := uint64(float64(high) * HotspotDataFrac)
+		if hot < 1 {
+			hot = 1
+		}
+		if hot >= high || g.rng.Float64() < HotspotOpnFrac {
+			return g.rng.Uint64() % hot
+		}
+		return hot + g.rng.Uint64()%(high-hot)
+	case DistExponential:
+		// Rate chosen so ExpPercentile of the mass lands inside the first
+		// ExpFrac of the key space; the tail past the space wraps (YCSB
+		// leaves it unbounded — wrapping keeps keys in range without a
+		// resample loop, and the wrapped mass is < 1e-9 of requests).
+		high := g.high()
+		mean := ExpFrac * float64(high) / -math.Log(1-ExpPercentile)
+		return uint64(g.rng.ExpFloat64()*mean) % high
 	default:
 		return g.zipf.Next(g.rng)
 	}

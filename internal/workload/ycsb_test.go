@@ -174,3 +174,82 @@ func TestOpKindsCoverKVInterface(t *testing.T) {
 		}
 	}
 }
+
+// TestDistBoundsAndDeterminism is the satellite property test for the
+// non-zipfian key distributions: for each of uniform, latest, hotspot, and
+// exponential, every drawn key stays inside the client's addressable range
+// and regenerating the stream from the same seed reproduces it exactly.
+func TestDistBoundsAndDeterminism(t *testing.T) {
+	for _, d := range []Dist{DistUniform, DistLatest, DistHotspot, DistExponential} {
+		t.Run(d.String(), func(t *testing.T) {
+			mix := YCSBA
+			mix.Dist = d
+			for _, keys := range []uint64{1, 2, 7, 1000, 99_991} {
+				a := NewGenerator(mix, keys, 1, 4, 77)
+				b := NewGenerator(mix, keys, 1, 4, 77)
+				for i := 0; i < 20_000; i++ {
+					x, y := a.Next(), b.Next()
+					if !reflect.DeepEqual(x, y) {
+						t.Fatalf("keys=%d op %d: stream not deterministic: %+v != %+v", keys, i, x, y)
+					}
+					if x.Kind != OpInsert && x.Key >= a.high() {
+						t.Fatalf("keys=%d op %d: key %d outside [0,%d)", keys, i, x.Key, a.high())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHotspotSkew: the hot prefix (HotspotDataFrac of the space) must
+// absorb roughly HotspotOpnFrac of the requests.
+func TestHotspotSkew(t *testing.T) {
+	const keys = 10_000
+	mix := YCSBC // read-only: every op draws from chooseKey
+	mix.Dist = DistHotspot
+	g := NewGenerator(mix, keys, 0, 1, 13)
+	hot := 0
+	const ops = 100_000
+	for i := 0; i < ops; i++ {
+		if g.Next().Key < uint64(float64(keys)*HotspotDataFrac) {
+			hot++
+		}
+	}
+	// Expected fraction: HotspotOpnFrac plus the uniform tail's spillover.
+	frac := float64(hot) / ops
+	if frac < HotspotOpnFrac-0.05 || frac > HotspotOpnFrac+0.1 {
+		t.Fatalf("hot prefix drew %.3f of requests, want ~%.2f", frac, HotspotOpnFrac)
+	}
+}
+
+// TestExponentialSkew: ExpPercentile of the requests must land inside the
+// first ExpFrac of the key space.
+func TestExponentialSkew(t *testing.T) {
+	const keys = 10_000
+	mix := YCSBC
+	mix.Dist = DistExponential
+	g := NewGenerator(mix, keys, 0, 1, 17)
+	head := 0
+	const ops = 100_000
+	for i := 0; i < ops; i++ {
+		if g.Next().Key < uint64(float64(keys)*ExpFrac) {
+			head++
+		}
+	}
+	frac := float64(head) / ops
+	if frac < ExpPercentile-0.03 || frac > ExpPercentile+0.03 {
+		t.Fatalf("first %.0f%% of the space drew %.3f of requests, want ~%.2f", ExpFrac*100, frac, ExpPercentile)
+	}
+}
+
+func TestParseDist(t *testing.T) {
+	for _, d := range []Dist{DistZipfian, DistUniform, DistLatest, DistHotspot, DistExponential} {
+		got, err := ParseDist(d.String())
+		if err != nil || got != d {
+			t.Fatalf("ParseDist(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDist("pareto"); err == nil {
+		t.Fatal("ParseDist(pareto) should fail")
+	}
+}
