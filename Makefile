@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz torture serve replica results examples fmt vet clean
+.PHONY: all build test test-short race cover bench fuzz torture serve replica elastic results examples fmt vet clean
 
 all: build test
 
@@ -50,6 +50,15 @@ replica:
 	$(GO) test -race ./internal/replica/
 	$(GO) test -race -run 'Replica|SLA|Failover|AbortedIncrementalCut|KillPrimary' ./internal/server/ ./internal/mpi/ ./internal/torture/
 	$(GO) run ./cmd/crpmserve -shards 4 -clients 8 -mix b -ops 200000 -replicas 2 -sla mix -killprimary 1
+
+# Elastic resharding study: race-mode sweep over the ring, dynamic
+# membership, and migration surface, a live split+merge crpmserve run,
+# then the before/during/after figure (see DESIGN.md §15).
+elastic:
+	$(GO) test -race ./internal/ring/
+	$(GO) test -race -run 'Ring|Router|Migrat|AutoSplit|Split|Merge|Grow|Leave|Membership' ./internal/server/ ./internal/mpi/
+	$(GO) run ./cmd/crpmserve -shards 2 -clients 4 -ops 200000 -policy ops:4096 -migrate 'split:0@2,merge:2>1@6'
+	$(GO) run ./cmd/crpmbench -exp elastic
 
 # Open-loop latency SLO study: race-mode sweep over the measurement rig,
 # a coordinated-omission-free crpmserve run at fixed offered load, then

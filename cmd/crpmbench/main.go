@@ -8,8 +8,8 @@
 //	crpmbench -list
 //
 // Experiments: fig1, fig7, fig8, fig9, fig10a, fig10b, table1a, table1b,
-// service, replica, crossover, slo, recovery, pauses, storage, ablations,
-// all.
+// service, replica, crossover, slo, elastic, recovery, pauses, storage,
+// ablations, all.
 package main
 
 import (
@@ -90,6 +90,7 @@ func experiments() []experiment {
 			return []harness.Table{x, m, s}, nil
 		}},
 		{"slo", "open-loop throughput vs p99 latency per backend x cut policy, coordinated-omission-free (extension)", one(harness.SLOFigure)},
+		{"elastic", "live shard split under open-loop load: throughput and p99 before/during/after the migration (extension)", one(harness.ElasticFigure)},
 		{"recovery", "LULESH recovery time (§5.5)", one(harness.RecoveryTime)},
 		{"pauses", "checkpoint pause-time distribution (extension)", one(harness.PauseTimes)},
 		{"storage", "storage cost of LULESH (§5.6)", one(harness.StorageCost)},

@@ -13,6 +13,13 @@
 //	crpmserve -replicas 2 -sla bounded:2@1ms -killprimary 1
 //	crpmserve -target 4e6 -duration 50ms -warmup 20000 -dist uniform
 //	crpmserve -target 8e6 -ops 400000 -status
+//	crpmserve -shards 2 -migrate split:0@2,merge:2>1@5
+//	crpmserve -shards 2 -autosplit 4
+//
+// -migrate schedules live shard migrations (checkpoint-seeded snapshot
+// ship, delta catch-up, atomic ring flip at a coordinated cut);
+// -autosplit lets the service split its hottest shard on its own, up to
+// the given live-shard cap. Both exclude -replicas.
 //
 // -target turns the run open-loop: requests arrive on a fixed-rate schedule
 // of simulated timestamps and latency is charged from each op's intended
@@ -33,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -104,6 +112,92 @@ func validateMeasureFlags(target float64, duration time.Duration, warmup int) (*
 	}, nil
 }
 
+// parseMigrations parses the -migrate spec: comma-separated
+// KIND:SRC[>DST][@CUTS] entries, e.g. "split:0@2,move:1>2@4,merge:3>1@6".
+// split picks its own destination (the next fresh rank); move and merge
+// require one. @CUTS delays the start until that many committed cuts.
+func parseMigrations(spec string) ([]server.MigrateSpec, error) {
+	var out []server.MigrateSpec
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(ent, ":")
+		if !ok || rest == "" {
+			return nil, fmt.Errorf("%w: -migrate entry %q: want KIND:SRC[>DST][@CUTS]", ErrBadFlags, ent)
+		}
+		after := 0
+		addr := rest
+		if a, cuts, ok := strings.Cut(rest, "@"); ok {
+			n, err := strconv.Atoi(cuts)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("%w: -migrate entry %q: cut count %q (want a positive integer)", ErrBadFlags, ent, cuts)
+			}
+			addr, after = a, n
+		}
+		srcStr, dstStr, hasDst := strings.Cut(addr, ">")
+		src, err := strconv.Atoi(srcStr)
+		if err != nil || src < 0 {
+			return nil, fmt.Errorf("%w: -migrate entry %q: source shard %q", ErrBadFlags, ent, srcStr)
+		}
+		dst := 0
+		if hasDst {
+			if dst, err = strconv.Atoi(dstStr); err != nil || dst < 0 {
+				return nil, fmt.Errorf("%w: -migrate entry %q: destination shard %q", ErrBadFlags, ent, dstStr)
+			}
+		}
+		var kind server.MigrateKind
+		switch kindStr {
+		case "split":
+			if hasDst {
+				return nil, fmt.Errorf("%w: -migrate entry %q: split spawns its own destination (no >DST)", ErrBadFlags, ent)
+			}
+			kind = server.MigrateSplit
+		case "move":
+			kind = server.MigrateMove
+		case "merge":
+			kind = server.MigrateMerge
+		default:
+			return nil, fmt.Errorf("%w: -migrate entry %q: unknown kind %q (split|move|merge)", ErrBadFlags, ent, kindStr)
+		}
+		if (kind == server.MigrateMove || kind == server.MigrateMerge) && !hasDst {
+			return nil, fmt.Errorf("%w: -migrate entry %q: %s needs a destination (SRC>DST)", ErrBadFlags, ent, kindStr)
+		}
+		out = append(out, server.MigrateSpec{Kind: kind, Src: src, Dst: dst, AfterCuts: after})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: -migrate %q has no entries", ErrBadFlags, spec)
+	}
+	return out, nil
+}
+
+// validateMigrateFlags checks the elastic-resharding flag set. Migration
+// excludes replication (a moved span would strand its secondaries'
+// deltas), and -migrate / -autosplit are mutually exclusive schedulers of
+// the same migration engine.
+func validateMigrateFlags(migrateSpec string, autosplit, replicas int) ([]server.MigrateSpec, server.AutoSplitSpec, error) {
+	var as server.AutoSplitSpec
+	if migrateSpec == "" && autosplit == 0 {
+		return nil, as, nil
+	}
+	if replicas > 0 {
+		return nil, as, fmt.Errorf("%w: %v", ErrBadFlags, server.ErrMigrateReplicas)
+	}
+	if migrateSpec != "" && autosplit > 0 {
+		return nil, as, fmt.Errorf("%w: -migrate and -autosplit are mutually exclusive", ErrBadFlags)
+	}
+	if autosplit < 0 {
+		return nil, as, fmt.Errorf("%w: -autosplit %d is negative", ErrBadFlags, autosplit)
+	}
+	if autosplit > 0 {
+		as.MaxShards = autosplit
+		return nil, as, nil
+	}
+	specs, err := parseMigrations(migrateSpec)
+	return specs, as, err
+}
+
 func main() { os.Exit(run()) }
 
 func run() int {
@@ -131,6 +225,8 @@ func run() int {
 	replicas := flag.Int("replicas", 0, "secondaries per shard, installing committed cut deltas asynchronously (0 = replication off)")
 	slaSpec := flag.String("sla", "", "read SLA set assigned round-robin to clients: mix | strong | rmw | monotonic | bounded:K | eventual, each with an optional @DUR latency target (requires -replicas)")
 	killPrimary := flag.Int("killprimary", -1, "crash this shard's primary mid-serve and fail over to its most-current secondary (requires -replicas)")
+	migrateSpec := flag.String("migrate", "", "live shard migrations: comma-separated KIND:SRC[>DST][@CUTS] entries, e.g. 'split:0@2,move:1>2@4,merge:3>1@6' (excludes -replicas)")
+	autosplit := flag.Int("autosplit", 0, "grow the service by splitting the hottest shard up to this many live shards (0 = off; excludes -migrate and -replicas)")
 	flag.Parse()
 
 	mix, err := workload.YCSBByName(*mixName)
@@ -184,6 +280,11 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	migrations, autoSplit, err := validateMigrateFlags(*migrateSpec, *autosplit, *replicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	opCount := *ops
 	if mcfg != nil && mcfg.DurationPS > 0 {
 		opCount = 0 // time-bounded: the op count follows from the offered load
@@ -209,6 +310,8 @@ func run() int {
 		Replicas:   *replicas,
 		SLAs:       slas,
 		Measure:    mcfg,
+		Migrations: migrations,
+		AutoSplit:  autoSplit,
 	}
 	if *status {
 		cfg.Progress = func(done, total int) {
@@ -259,6 +362,10 @@ func run() int {
 	if res.FailedOver {
 		fmt.Printf("failover: shard %d promoted secondary %d at cut epoch %d (crash at primitive %d)\n",
 			res.CrashedShard, res.PromotedReplica, res.PromotedEpoch, cfg.Crash.At)
+	}
+	for _, m := range res.Migrations {
+		fmt.Printf("migration: %s %d>%d flipped at cut epoch %d: %d keys shipped (+%d catch-up ops) across %d ring slots\n",
+			m.Kind, m.Src, m.Dst, m.FlipEpoch, m.MovedKeys, m.CatchupOps, m.SlotCount)
 	}
 	fmt.Fprintf(os.Stderr, "served %d ops on %d shards in %v wall\n", res.TotalOps, cfg.Shards, wall.Round(time.Millisecond))
 
@@ -384,6 +491,18 @@ func buildTable(cfg server.Config, backend, ds string, res *server.Result) harne
 	t.AddMetric("serve_p999_lat_us", float64(res.P999LatPS)/1e6)
 	t.AddMetric("serve_max_pause_us", float64(res.MaxPausePS)/1e6)
 	t.AddMetric("serve_violations", float64(len(res.Violations)))
+	// Migration metrics exist only for migratory runs, keeping
+	// migration-free output byte-identical to the pre-ring tool's.
+	if len(res.Migrations) > 0 {
+		t.AddMetric("serve_migrations", float64(len(res.Migrations)))
+		var moved, catchup float64
+		for _, m := range res.Migrations {
+			moved += float64(m.MovedKeys)
+			catchup += float64(m.CatchupOps)
+		}
+		t.AddMetric("serve_migrated_keys", moved)
+		t.AddMetric("serve_migration_catchup_ops", catchup)
+	}
 	return t
 }
 

@@ -44,6 +44,101 @@ func TestValidateReplFlags(t *testing.T) {
 	}
 }
 
+// TestValidateMigrateFlags is the elastic-resharding flag contract: every
+// nonsense -migrate / -autosplit combination is rejected with ErrBadFlags
+// (replication exclusion included), and every valid spec parses to the
+// matching server.MigrateSpec list.
+func TestValidateMigrateFlags(t *testing.T) {
+	bad := []struct {
+		name                string
+		spec                string
+		autosplit, replicas int
+	}{
+		{"migrate with replicas", "split:0@2", 0, 1},
+		{"autosplit with replicas", "", 4, 2},
+		{"migrate and autosplit", "split:0@2", 4, 0},
+		{"negative autosplit", "", -1, 0},
+		{"empty entries", " , ,", 0, 0},
+		{"missing kind", "0>2@4", 0, 0},
+		{"unknown kind", "rebalance:0@2", 0, 0},
+		{"split with dst", "split:0>2@2", 0, 0},
+		{"move without dst", "move:1@4", 0, 0},
+		{"merge without dst", "merge:1@4", 0, 0},
+		{"bad src", "split:x@2", 0, 0},
+		{"bad dst", "move:1>y@4", 0, 0},
+		{"bad cuts", "split:0@zero", 0, 0},
+		{"zero cuts", "split:0@0", 0, 0},
+	}
+	for _, c := range bad {
+		if _, _, err := validateMigrateFlags(c.spec, c.autosplit, c.replicas); !errors.Is(err, ErrBadFlags) {
+			t.Fatalf("%s: err = %v, want ErrBadFlags", c.name, err)
+		}
+	}
+
+	specs, as, err := validateMigrateFlags("", 0, 2)
+	if err != nil || specs != nil || as.MaxShards != 0 {
+		t.Fatalf("elastic off: %v, %v, %v", specs, as, err)
+	}
+	specs, _, err = validateMigrateFlags("split:0@2, move:1>2@4,merge:3>1@6", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []server.MigrateSpec{
+		{Kind: server.MigrateSplit, Src: 0, AfterCuts: 2},
+		{Kind: server.MigrateMove, Src: 1, Dst: 2, AfterCuts: 4},
+		{Kind: server.MigrateMerge, Src: 3, Dst: 1, AfterCuts: 6},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("parsed %d specs, want %d: %+v", len(specs), len(want), specs)
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Fatalf("spec %d: %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+	// @CUTS is optional (server defaults it).
+	specs, _, err = validateMigrateFlags("split:1", 0, 0)
+	if err != nil || len(specs) != 1 || specs[0].AfterCuts != 0 {
+		t.Fatalf("default cuts: %+v, %v", specs, err)
+	}
+	_, as, err = validateMigrateFlags("", 8, 0)
+	if err != nil || as.MaxShards != 8 {
+		t.Fatalf("autosplit: %+v, %v", as, err)
+	}
+}
+
+// TestBuildTableMigrationMetrics: migration metrics appear exactly for
+// migratory runs, so migration-free output stays byte-compatible.
+func TestBuildTableMigrationMetrics(t *testing.T) {
+	cfg := server.Config{
+		Shards: 2, Clients: 2, Mix: workload.YCSBA, Ops: 4000, Keys: 1000,
+		HeapSize: 1 << 21, Buckets: 1 << 10, BatchOps: 256,
+		Policy: server.OpsPolicy{Every: 512}, Seed: 3,
+		Migrations: []server.MigrateSpec{{Kind: server.MigrateSplit, Src: 0, AfterCuts: 1}},
+	}
+	svc, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatal(res.Violations[0])
+	}
+	tb := buildTable(cfg, "default", "hashmap", res)
+	if tb.Metrics["serve_migrations"] != 1 {
+		t.Fatalf("serve_migrations = %v, want 1", tb.Metrics["serve_migrations"])
+	}
+	if tb.Metrics["serve_migrated_keys"] <= 0 {
+		t.Fatalf("serve_migrated_keys = %v, want > 0", tb.Metrics["serve_migrated_keys"])
+	}
+	if len(res.Shards) != 3 {
+		t.Fatalf("split did not grow the table: %d shard rows", len(res.Shards))
+	}
+}
+
 // TestBuildTableReplicaColumns: the replica columns appear exactly when
 // replication is on, so unreplicated output stays byte-compatible.
 func TestBuildTableReplicaColumns(t *testing.T) {

@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"fmt"
+
+	"libcrpm/internal/core"
+	"libcrpm/internal/measure"
+	"libcrpm/internal/sched"
+	"libcrpm/internal/server"
+	"libcrpm/internal/workload"
+)
+
+// elasticIntervalPS is the timeseries bucket width of the elastic study:
+// 0.1 ms of simulated time, fine enough that the migration window (ship
+// latency plus a few cut rounds) spans multiple buckets.
+const elasticIntervalPS = 100_000_000
+
+// elasticTargetMops is the offered load of every elastic cell, Mops/s —
+// below the 2-shard boot capacity so the before-phase p99 reflects
+// genuine open-loop latency, and the during-phase excursion (snapshot
+// publish, delta catch-up, flip barrier) stands out against it.
+const elasticTargetMops = 1.0
+
+// elasticStepBudget is the per-quantum byte budget of the incremental
+// row group: the same ops-policy cadence as the stop-the-world group, but
+// each cut drains through the quantum pipeline in 256 KiB steps, so the
+// ring flip rides a commit transition instead of a pause. The budget is
+// sized so a full cut commits within a few request batches: the
+// migration advances one phase per committed cut, and the flip has to
+// land inside the measured window, not trail the run.
+const elasticStepBudget = 256 << 10
+
+// ElasticFigure is the elastic-resharding study (extension): one 2-shard
+// service runs YCSB-A open-loop while a live split carves half of shard
+// 0's ring slots onto a freshly spawned shard 2 — checkpoint-seeded
+// snapshot ship, delta catch-up, then an atomic ring flip at a
+// coordinated cut. The migration's StartPS/FlipPS timestamps cut the
+// measured timeseries into before/during/after windows; each row group
+// reports achieved throughput and the worst-interval omission-free p99
+// per window. One group per cut style: stop-the-world ops-policy cuts
+// and the incremental quantum pipeline (where the flip rides the commit
+// transition of a budgeted step sequence instead of a pause).
+func ElasticFigure(sc Scale) (Table, error) {
+	setups := []struct {
+		name       string
+		policy     server.Policy
+		stepBudget int
+	}{
+		{"stw-cut", server.OpsPolicy{Every: 4096}, 0},
+		{"inc-pipeline", server.OpsPolicy{Every: 4096}, elasticStepBudget},
+	}
+	phases := []string{"before", "during", "after"}
+	t := Table{
+		Title:  fmt.Sprintf("Elastic: live split under open-loop load, throughput and p99 before/during/after the migration (%s scale)", sc.Name),
+		Header: []string{"setup", "phase", "sim ms", "achieved Mops/s", "worst open p99 us", "moved keys"},
+		Notes: []string{
+			fmt.Sprintf("YCSB-A at %gMops/s offered, 2 boot shards, split 0>2 after 2 cuts; windows cut at the migration's start and ring-flip timestamps", elasticTargetMops),
+			fmt.Sprintf("p99 is the worst %gms interval of the window, omission-free (charged from intended arrival)", float64(elasticIntervalPS)/1e9),
+		},
+	}
+	heap := sc.HeapSize / 2
+	if heap < 2<<20 {
+		heap = 2 << 20
+	}
+	buckets := sc.Buckets / 2
+	if buckets < 1<<10 {
+		buckets = 1 << 10
+	}
+	type window struct {
+		simMS, mops, p99US float64
+		intervals          int
+	}
+	type cellRes struct {
+		win       [3]window
+		movedKeys int
+	}
+	cells, err := sched.MapErr(len(setups), pool(), func(i int) (cellRes, error) {
+		st := setups[i]
+		svc, err := server.New(server.Config{
+			Shards:     2,
+			Clients:    4,
+			Mix:        workload.YCSBA,
+			Ops:        sc.Ops,
+			Keys:       sc.Keys,
+			HeapSize:   heap,
+			Buckets:    buckets,
+			Mode:       core.ModeDefault,
+			Policy:     st.policy,
+			StepBudget: st.stepBudget,
+			Migrations: []server.MigrateSpec{
+				{Kind: server.MigrateSplit, Src: 0, AfterCuts: 2},
+			},
+			Measure: &measure.Config{
+				TargetOps:  elasticTargetMops * 1e6,
+				WarmupOps:  sc.Ops / 20,
+				IntervalPS: elasticIntervalPS,
+			},
+			Seed:     13,
+			Parallel: 1, // cell-internal verification; the sweep is the parallel layer
+		})
+		if err != nil {
+			return cellRes{}, fmt.Errorf("elastic/%s: %w", st.name, err)
+		}
+		res, err := svc.Run()
+		if err != nil {
+			return cellRes{}, fmt.Errorf("elastic/%s: %w", st.name, err)
+		}
+		if !res.OK() {
+			return cellRes{}, fmt.Errorf("elastic/%s: service inconsistent: %v", st.name, res.Violations[0])
+		}
+		if len(res.Migrations) != 1 {
+			return cellRes{}, fmt.Errorf("elastic/%s: recorded %d migrations, want 1", st.name, len(res.Migrations))
+		}
+		m := res.Migrations[0]
+		rep := res.Measure
+		if rep == nil || len(rep.Intervals) == 0 {
+			return cellRes{}, fmt.Errorf("elastic/%s: empty measurement report", st.name)
+		}
+		var c cellRes
+		c.movedKeys = m.MovedKeys
+		for _, iv := range rep.Intervals {
+			w := 0
+			switch {
+			case iv.StartPS < m.StartPS:
+				w = 0
+			case iv.StartPS < m.FlipPS:
+				w = 1
+			default:
+				w = 2
+			}
+			c.win[w].intervals++
+			c.win[w].simMS += float64(rep.IntervalPS) / 1e9
+			c.win[w].mops += float64(iv.Ops)
+			if p := float64(iv.OpenP99PS) / 1e6; p > c.win[w].p99US {
+				c.win[w].p99US = p
+			}
+		}
+		for w := range c.win {
+			if c.win[w].simMS > 0 {
+				// ops over simMS milliseconds -> Mops/s = ops / (simMS * 1e3).
+				c.win[w].mops = c.win[w].mops / (c.win[w].simMS * 1e3)
+			}
+		}
+		return c, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for si, st := range setups {
+		c := cells[si]
+		for w, phase := range phases {
+			moved := ""
+			if phase == "during" {
+				moved = fmt.Sprintf("%d", c.movedKeys)
+			}
+			t.Rows = append(t.Rows, []string{
+				st.name, phase,
+				fmtF(c.win[w].simMS, 1),
+				fmtF(c.win[w].mops, 3),
+				fmtF(c.win[w].p99US, 1),
+				moved,
+			})
+			t.AddMetric(fmt.Sprintf("elastic_mops/%s/%s", st.name, phase), c.win[w].mops)
+			t.AddMetric(fmt.Sprintf("elastic_p99_us/%s/%s", st.name, phase), c.win[w].p99US)
+		}
+	}
+	return t, nil
+}

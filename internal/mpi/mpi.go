@@ -16,9 +16,13 @@ import (
 	"libcrpm/internal/nvm"
 )
 
-// World is a set of ranks executing one program.
+// World is a set of ranks executing one program. Membership is dynamic
+// within a fixed capacity: ranks join (Grow) and retire (Leave) at
+// barriers, so every membership change happens at a point the whole world
+// agrees on — the same boundary discipline the coordinated checkpoint
+// protocol uses. Collectives span the active ranks only.
 type World struct {
-	size int
+	max int // rank id capacity, fixed at construction
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -26,6 +30,16 @@ type World struct {
 	gen     uint64
 	aborted bool
 	abortBy int
+
+	total   int    // ranks ever spawned; next Grow id
+	active  []bool // active[r]: rank r participates in collectives
+	alive   int    // number of active ranks
+	leaving []int  // ranks retiring at the current barrier
+	growTo  int    // pending Grow rank id, -1 when none
+	growFn  func(c *Comm)
+
+	wg     sync.WaitGroup
+	panics []any
 
 	clocks []*nvm.Clock
 
@@ -49,21 +63,38 @@ func (a Aborted) Error() string {
 	return fmt.Sprintf("mpi: world aborted by rank %d", a.Rank)
 }
 
-// NewWorld creates a world of n ranks.
-func NewWorld(n int) *World {
+// NewWorld creates a world of n ranks with no growth headroom.
+func NewWorld(n int) *World { return NewWorldCap(n, n) }
+
+// NewWorldCap creates a world of n active ranks that can Grow up to max.
+// All per-rank state (mailboxes, clocks, reduction slots) is preallocated
+// at max so joining a rank never reallocates shared structures under
+// concurrent readers.
+func NewWorldCap(n, max int) *World {
 	if n < 1 {
 		panic("mpi: world size must be at least 1")
 	}
+	if max < n {
+		panic(fmt.Sprintf("mpi: capacity %d below initial size %d", max, n))
+	}
 	w := &World{
-		size:   n,
-		clocks: make([]*nvm.Clock, n),
-		redU64: make([]uint64, n),
-		redF64: make([]float64, n),
+		max:    max,
+		total:  n,
+		active: make([]bool, max),
+		alive:  n,
+		growTo: -1,
+		panics: make([]any, max),
+		clocks: make([]*nvm.Clock, max),
+		redU64: make([]uint64, max),
+		redF64: make([]float64, max),
+	}
+	for r := 0; r < n; r++ {
+		w.active[r] = true
 	}
 	w.cond = sync.NewCond(&w.mu)
-	w.mail = make([][]chan []float64, n)
+	w.mail = make([][]chan []float64, max)
 	for i := range w.mail {
-		w.mail[i] = make([]chan []float64, n)
+		w.mail[i] = make([]chan []float64, max)
 		for j := range w.mail[i] {
 			w.mail[i][j] = make(chan []float64, 4)
 		}
@@ -71,25 +102,40 @@ func NewWorld(n int) *World {
 	return w
 }
 
-// Size returns the number of ranks.
-func (w *World) Size() int { return w.size }
+// Size returns the number of ranks ever spawned (dense id space; a retired
+// rank keeps its id).
+func (w *World) Size() int { return w.total }
 
-// Run executes fn on every rank concurrently and waits for all to finish.
-// A panic on any rank is re-raised on the caller after the others complete
-// or park.
+// Alive returns the number of active ranks.
+func (w *World) Alive() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.alive
+}
+
+// spawn starts a rank goroutine, tracked by the world's WaitGroup so Run
+// waits for joined ranks too. Callers hold w.mu or run before Run returns.
+func (w *World) spawn(rank int, fn func(c *Comm)) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		defer func() { w.panics[rank] = recover() }()
+		fn(&Comm{w: w, rank: rank})
+	}()
+}
+
+// Run executes fn on every initial rank concurrently and waits for all
+// ranks — including any joined via Grow — to finish. A panic on any rank
+// is re-raised on the caller after the others complete or park.
 func (w *World) Run(fn func(c *Comm)) {
-	var wg sync.WaitGroup
-	panics := make([]any, w.size)
-	for r := 0; r < w.size; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() { panics[rank] = recover() }()
-			fn(&Comm{w: w, rank: rank})
-		}(r)
+	w.mu.Lock()
+	n := w.total
+	w.mu.Unlock()
+	for r := 0; r < n; r++ {
+		w.spawn(r, fn)
 	}
-	wg.Wait()
-	for r, p := range panics {
+	w.wg.Wait()
+	for r, p := range w.panics {
 		if p != nil {
 			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
 		}
@@ -105,8 +151,12 @@ type Comm struct {
 // Rank returns this rank's id.
 func (c *Comm) Rank() int { return c.rank }
 
-// Size returns the world size.
-func (c *Comm) Size() int { return c.w.size }
+// Size returns the world size (ranks ever spawned).
+func (c *Comm) Size() int {
+	c.w.mu.Lock()
+	defer c.w.mu.Unlock()
+	return c.w.total
+}
 
 // AttachClock registers this rank's simulated clock; barriers then align
 // clocks to the slowest rank.
@@ -128,9 +178,12 @@ func (c *Comm) Abort() {
 	w.mu.Unlock()
 }
 
-// Barrier blocks until every rank arrives, then aligns attached clocks.
-// If the world is aborted — before, during, or after the wait — Barrier
-// panics with Aborted instead of completing.
+// Barrier blocks until every active rank arrives, then aligns attached
+// clocks to the slowest active rank. Pending membership changes (Leave
+// intents, a Grow request) take effect as the barrier completes, so every
+// rank observes the same membership on the far side. If the world is
+// aborted — before, during, or after the wait — Barrier panics with
+// Aborted instead of completing.
 func (c *Comm) Barrier() {
 	w := c.w
 	w.mu.Lock()
@@ -140,18 +193,39 @@ func (c *Comm) Barrier() {
 	}
 	gen := w.gen
 	w.arrived++
-	if w.arrived == w.size {
-		// Align simulated time: everyone waited for the slowest.
+	if w.arrived == w.alive {
+		// Align simulated time: everyone waited for the slowest active rank.
+		// Retired ranks' clocks stay frozen at their departure time.
 		var max int64
-		for _, clk := range w.clocks {
-			if clk != nil && clk.NowPS() > max {
+		for r, clk := range w.clocks {
+			if w.active[r] && clk != nil && clk.NowPS() > max {
 				max = clk.NowPS()
 			}
 		}
-		for _, clk := range w.clocks {
-			if clk != nil && clk.NowPS() < max {
+		for r, clk := range w.clocks {
+			if w.active[r] && clk != nil && clk.NowPS() < max {
 				clk.Advance(max - clk.NowPS())
 			}
+		}
+		// Membership transitions happen exactly here, under the same lock
+		// that releases the barrier: every rank leaving this barrier sees
+		// the post-transition membership, no rank sees a torn view.
+		for _, r := range w.leaving {
+			if w.active[r] {
+				w.active[r] = false
+				w.alive--
+			}
+		}
+		w.leaving = w.leaving[:0]
+		if w.growTo >= 0 {
+			r, fn := w.growTo, w.growFn
+			w.growTo, w.growFn = -1, nil
+			w.active[r] = true
+			w.alive++
+			w.total++
+			// The joined rank's clock starts at the aligned barrier time once
+			// it attaches; until then alignment skips its nil clock.
+			w.spawn(r, fn)
 		}
 		w.arrived = 0
 		w.gen++
@@ -169,6 +243,61 @@ func (c *Comm) Barrier() {
 	}
 }
 
+// Grow is a collective that admits one new rank at this barrier: every
+// active rank calls Grow with the same rank id (the current Size(), keeping
+// ids dense) and the world spawns fn on it as the barrier completes. The
+// new rank is active immediately — it must reach the world's next
+// collective. fn is taken from whichever caller arrives first; callers
+// must pass equivalent functions, as with any MPI collective argument.
+func (c *Comm) Grow(rank int, fn func(c *Comm)) {
+	w := c.w
+	w.mu.Lock()
+	if w.aborted {
+		w.mu.Unlock()
+		panic(Aborted{Rank: w.abortBy})
+	}
+	if rank != w.total {
+		w.mu.Unlock()
+		panic(fmt.Sprintf("mpi: Grow(%d) but next rank id is %d", rank, w.total))
+	}
+	if w.total >= w.max {
+		w.mu.Unlock()
+		panic(fmt.Sprintf("mpi: Grow(%d) beyond capacity %d", rank, w.max))
+	}
+	if w.growTo >= 0 && w.growTo != rank {
+		w.mu.Unlock()
+		panic(fmt.Sprintf("mpi: conflicting Grow(%d) vs pending Grow(%d)", rank, w.growTo))
+	}
+	if w.growTo < 0 {
+		w.growTo = rank
+		w.growFn = fn
+	}
+	w.mu.Unlock()
+	c.Barrier()
+}
+
+// Leave is a collective through which the calling rank retires: it counts
+// as the rank's arrival at the current barrier, and deactivation takes
+// effect as that barrier completes. Remaining ranks call Barrier (or any
+// collective) at the same point. After Leave returns the rank must not use
+// the communicator again; its clock freezes at the departure barrier and
+// its id is never reused.
+func (c *Comm) Leave() {
+	w := c.w
+	w.mu.Lock()
+	if w.aborted {
+		w.mu.Unlock()
+		panic(Aborted{Rank: w.abortBy})
+	}
+	if !w.active[c.rank] {
+		w.mu.Unlock()
+		panic(fmt.Sprintf("mpi: rank %d left twice", c.rank))
+	}
+	w.leaving = append(w.leaving, c.rank)
+	w.mu.Unlock()
+	c.Barrier()
+}
+
 // Op selects a reduction.
 type Op int
 
@@ -179,15 +308,29 @@ const (
 	Sum
 )
 
-// AllreduceU64 combines one value per rank and returns the result on all.
+// AllreduceU64 combines one value per active rank and returns the result
+// on all. Retired ranks' stale slots are excluded; between the two
+// barriers the active set cannot change (a pending membership change
+// cannot complete until this collective's ranks advance), so every rank
+// folds the same contributor set.
 func (c *Comm) AllreduceU64(v uint64, op Op) uint64 {
 	w := c.w
 	w.mu.Lock()
 	w.redU64[c.rank] = v
 	w.mu.Unlock()
 	c.Barrier()
-	out := w.redU64[0]
-	for _, x := range w.redU64[1:] {
+	w.mu.Lock()
+	first := true
+	var out uint64
+	for r := 0; r < w.total; r++ {
+		if !w.active[r] {
+			continue
+		}
+		x := w.redU64[r]
+		if first {
+			out, first = x, false
+			continue
+		}
 		switch op {
 		case Min:
 			if x < out {
@@ -201,6 +344,7 @@ func (c *Comm) AllreduceU64(v uint64, op Op) uint64 {
 			out += x
 		}
 	}
+	w.mu.Unlock()
 	c.Barrier() // everyone has read before the buffer is reused
 	return out
 }
@@ -222,15 +366,26 @@ func (c *Comm) BcastU64(root int, v uint64) uint64 {
 	return out
 }
 
-// AllreduceF64 combines one float per rank and returns the result on all.
+// AllreduceF64 combines one float per active rank and returns the result
+// on all.
 func (c *Comm) AllreduceF64(v float64, op Op) float64 {
 	w := c.w
 	w.mu.Lock()
 	w.redF64[c.rank] = v
 	w.mu.Unlock()
 	c.Barrier()
-	out := w.redF64[0]
-	for _, x := range w.redF64[1:] {
+	w.mu.Lock()
+	first := true
+	var out float64
+	for r := 0; r < w.total; r++ {
+		if !w.active[r] {
+			continue
+		}
+		x := w.redF64[r]
+		if first {
+			out, first = x, false
+			continue
+		}
 		switch op {
 		case Min:
 			if x < out {
@@ -244,6 +399,7 @@ func (c *Comm) AllreduceF64(v float64, op Op) float64 {
 			out += x
 		}
 	}
+	w.mu.Unlock()
 	c.Barrier()
 	return out
 }

@@ -434,6 +434,6 @@ func (s *Service) failover(res *Result) {
 		}
 	}
 	if len(res.Violations) == 0 && s.cfg.Liveness {
-		s.liveness(res)
+		s.liveness(res, s.shards)
 	}
 }

@@ -16,19 +16,41 @@
 // depends on goroutine scheduling or on any worker-pool width.
 package server
 
-import "fmt"
+import (
+	"fmt"
 
-// Router statelessly maps keys to shards. Scans are routed to the shard
-// owning the start key and read only that shard's partition — a
-// documented limitation; cross-shard merge scans would need a scatter
-// phase the service does not implement.
+	"libcrpm/internal/ring"
+)
+
+// Router maps keys to shards through a consistent-hash ring
+// (internal/ring): splitmix64 point hashing over a fixed slot space of
+// Shards × ring.DefaultVnodes equal virtual nodes. At boot the ring's
+// slot→shard assignment makes Shard(key) exactly
+//
+//	splitmix64(key) % Shards
+//
+// — byte-identical to the fixed modulo router it replaced (the identity is
+// pinned by TestRouterMatchesModulo and ring.TestRingMatchesModuloRouting),
+// so every shards=N configuration without migrations produces unchanged
+// output. Elastic resharding mutates the ring by whole-slot reassignment;
+// the Service flips each rank's ring clone at a coordinated cut and
+// re-points this router at the epoch-matching table after recovery.
+//
+// Distribution: the splitmix64 finalizer is a bijective avalanche mix, so
+// adjacent keys land on uncorrelated slots and any key population large
+// relative to the slot count spreads near-uniformly across shards in
+// proportion to their slot weight (property-tested in router_test.go).
+//
+// Scans are routed to the shard owning the start key and read only that
+// shard's partition — a documented limitation; cross-shard merge scans
+// would need a scatter phase the service does not implement.
 //
 // Under replication the key→shard map never changes; what a failover
 // flips is which node serves a shard. Promote records that flip, pinned
 // to the cut boundary the promoted replica resumed from, so clients (and
 // tests) can observe exactly one atomic routing change per failover.
 type Router struct {
-	n        int
+	ring     *ring.Ring
 	promoted map[int]Promotion
 }
 
@@ -39,12 +61,13 @@ type Promotion struct {
 	Epoch uint64
 }
 
-// NewRouter builds a router over n shards.
+// NewRouter builds a router over n shards, its ring in the boot
+// (modulo-identical) layout.
 func NewRouter(shards int) *Router {
 	if shards < 1 {
 		panic(fmt.Sprintf("server: router over %d shards", shards))
 	}
-	return &Router{n: shards}
+	return &Router{ring: ring.New(shards, ring.DefaultVnodes)}
 }
 
 // Promote atomically flips a shard's serving node to a promoted replica
@@ -62,16 +85,19 @@ func (r *Router) Promoted(shard int) (Promotion, bool) {
 	return p, ok
 }
 
-// Shards returns the shard count.
-func (r *Router) Shards() int { return r.n }
+// Shards returns the shard id space size (grows across splits; a merged
+// shard keeps its id at weight zero).
+func (r *Router) Shards() int { return r.ring.Shards() }
 
-// Shard returns the owner of a key. The splitmix64 finalizer spreads
-// adjacent keys uniformly, so sequential key spaces load-balance.
-func (r *Router) Shard(key uint64) int {
-	key ^= key >> 30
-	key *= 0xbf58476d1ce4e5b9
-	key ^= key >> 27
-	key *= 0x94d049bb133111eb
-	key ^= key >> 31
-	return int(key % uint64(r.n))
-}
+// Shard returns the owner of a key on the router's current ring.
+func (r *Router) Shard(key uint64) int { return r.ring.Owner(key) }
+
+// Ring exposes the router's ownership table; the Service clones it per
+// rank at boot and swaps in the recovered-epoch table after a crash.
+func (r *Router) Ring() *ring.Ring { return r.ring }
+
+// SetRing re-points the router at a reconstructed ownership table — used
+// after recovery so liveness probes route on the ring version of the
+// landing epoch. Never called during serving (ranks route on their own
+// clones).
+func (r *Router) SetRing(rg *ring.Ring) { r.ring = rg }

@@ -143,6 +143,16 @@ type Config struct {
 	// commit epoch into the Result, so SLA property tests can replay
 	// per-client histories. Replicas > 0 only.
 	Audit bool
+	// Migrations schedules elastic-resharding operations (split, move,
+	// merge), run live one at a time while the service keeps serving; see
+	// MigrateSpec. Empty keeps every migration code path off and the run
+	// byte-identical to the pre-resharding service. Excludes Replicas and
+	// AutoSplit.
+	Migrations []MigrateSpec
+	// AutoSplit makes the service split its hottest shard on its own when
+	// load imbalance crosses a threshold; see AutoSplitSpec. Excludes
+	// Replicas and Migrations.
+	AutoSplit AutoSplitSpec
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -225,6 +235,39 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Replicas > 0 && len(c.SLAs) == 0 {
 		c.SLAs = replica.Mix()
 	}
+	if len(c.Migrations) > 0 || c.AutoSplit.MaxShards > 0 {
+		if c.Replicas > 0 {
+			return c, ErrMigrateReplicas
+		}
+		if len(c.Migrations) > 0 && c.AutoSplit.MaxShards > 0 {
+			return c, fmt.Errorf("server: explicit migrations and autosplit are mutually exclusive")
+		}
+		for i := range c.Migrations {
+			m := &c.Migrations[i]
+			switch m.Kind {
+			case MigrateSplit, MigrateMove, MigrateMerge:
+			default:
+				return c, fmt.Errorf("server: migration %d: unknown kind %q", i, m.Kind)
+			}
+			if m.Src < 0 {
+				return c, fmt.Errorf("server: migration %d: negative source shard %d", i, m.Src)
+			}
+			if m.Kind != MigrateSplit && m.Dst < 0 {
+				return c, fmt.Errorf("server: migration %d: negative destination shard %d", i, m.Dst)
+			}
+			if m.AfterCuts < 1 {
+				m.AfterCuts = 1
+			}
+		}
+		if as := c.AutoSplit; as.MaxShards > 0 {
+			if as.MaxShards < c.Shards {
+				return c, fmt.Errorf("server: autosplit cap %d below boot shard count %d", as.MaxShards, c.Shards)
+			}
+			if c.AutoSplit.HotFactor == 0 {
+				c.AutoSplit.HotFactor = 2
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -244,8 +287,14 @@ type Service struct {
 	opts       core.Options
 	deviceSize int
 	streams    [][]seqOp
-	batches    int
-	shards     []*shard
+	// ops is the un-routed global stream, used instead of streams when the
+	// run is migratory: ownership is then decided per op at dispatch time
+	// against each rank's live ring clone.
+	ops     []seqOp
+	batches int
+	shards  []*shard
+	errs    []error
+	box     *migBox
 }
 
 // New validates the config and pre-generates every client's request
@@ -284,6 +333,15 @@ func New(cfg Config) (*Service, error) {
 	for i := range gens {
 		seed := sched.SeedFor(fmt.Sprintf("serve/%d/client/%d", cfg.Seed, i))
 		gens[i] = workload.NewGenerator(cfg.Mix, cfg.Keys, i, cfg.Clients, seed)
+	}
+	if s.migratory() {
+		// Keep the stream global: ownership moves mid-run, so each rank
+		// filters per op against its live ring clone at dispatch time.
+		s.ops = make([]seqOp, 0, cfg.Ops)
+		for i := 0; i < cfg.Ops; i++ {
+			s.ops = append(s.ops, seqOp{seq: i, op: gens[i%cfg.Clients].Next()})
+		}
+		return s, nil
 	}
 	for i := 0; i < cfg.Ops; i++ {
 		op := gens[i%cfg.Clients].Next()
@@ -364,6 +422,10 @@ type Result struct {
 	// merged across shards in global sequence order.
 	Reads  []ReadAudit
 	Writes []WriteAudit
+	// Migrations summarizes every elastic-resharding operation the run
+	// performed, in start order (Config.Migrations / Config.AutoSplit;
+	// empty otherwise).
+	Migrations []MigrationStat
 	// Violations is empty iff every consistency check passed.
 	Violations []Violation
 	// Measure is the merged open-loop measurement report (Config.Measure
@@ -382,18 +444,27 @@ func (r *Result) OK() bool { return len(r.Violations) == 0 }
 // shadows (clean runs) or crash, recover, and verify against the
 // recovered epoch's snapshot.
 func (s *Service) Run() (*Result, error) {
-	s.shards = make([]*shard, s.cfg.Shards)
-	errs := make([]error, s.cfg.Shards)
-	w := mpi.NewWorld(s.cfg.Shards)
-	w.Run(func(c *mpi.Comm) { s.serveRank(c, errs) })
+	maxN := s.maxShards()
+	s.shards = make([]*shard, maxN)
+	s.errs = make([]error, maxN)
+	if s.migratory() {
+		s.box = &migBox{}
+	}
+	w := mpi.NewWorldCap(s.cfg.Shards, maxN)
+	w.Run(func(c *mpi.Comm) { s.serveRank(c) })
 
+	// Drop the capacity slots no split ever spawned into. Ids are dense
+	// (mpi.Grow enforces it), so only trailing entries can be nil.
+	for len(s.shards) > s.cfg.Shards && s.shards[len(s.shards)-1] == nil {
+		s.shards = s.shards[:len(s.shards)-1]
+	}
 	crashedRank := -1
 	for i, sh := range s.shards {
 		if sh != nil && sh.crashed {
 			crashedRank = i
 		}
 	}
-	for i, err := range errs {
+	for i, err := range s.errs {
 		if err != nil {
 			return nil, fmt.Errorf("server: shard %d: %w", i, err)
 		}
@@ -427,6 +498,12 @@ func (s *Service) Run() (*Result, error) {
 				res.Violations = append(res.Violations, Violation{Shard: i, Stage: "replica", Detail: d})
 			}
 		}
+		if s.migratory() {
+			s.migVerify(res)
+		}
+	}
+	if s.migratory() {
+		res.Migrations = s.collectMigrations()
 	}
 	s.fillStats(res)
 	if s.cfg.Measure != nil {
@@ -485,58 +562,65 @@ func (s *Service) PrimitiveSpans() [][2]int64 {
 	return spans
 }
 
-// serveRank is one shard's request loop, run as an mpi rank. Injected
-// crashes are recorded and turned into a world abort so peers parked at
+// containCrash is the deferred tail of every rank loop: injected crashes
+// are recorded and turned into a world abort so peers parked at
 // coordination barriers unwind; peer aborts unwind silently.
-func (s *Service) serveRank(c *mpi.Comm, errs []error) {
+func (s *Service) containCrash(c *mpi.Comm, rank int) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	sh := s.shards[rank]
+	switch p := r.(type) {
+	case nvm.InjectedCrash:
+		sh.crashed, sh.crashIndex, sh.crashKind = true, p.Index, p.Kind
+		if sh.simEndPS == 0 {
+			sh.simEndPS = sh.clock.NowPS()
+		}
+		c.Abort()
+	case mpi.Aborted:
+		if sh != nil && sh.simEndPS == 0 {
+			sh.simEndPS = sh.clock.NowPS()
+		}
+	default:
+		panic(r)
+	}
+}
+
+// serveRank is one shard's request loop, run as an mpi rank.
+func (s *Service) serveRank(c *mpi.Comm) {
 	rank := c.Rank()
-	defer func() {
-		r := recover()
-		if r == nil {
-			return
-		}
-		sh := s.shards[rank]
-		switch p := r.(type) {
-		case nvm.InjectedCrash:
-			sh.crashed, sh.crashIndex, sh.crashKind = true, p.Index, p.Kind
-			if sh.simEndPS == 0 {
-				sh.simEndPS = sh.clock.NowPS()
-			}
-			c.Abort()
-		case mpi.Aborted:
-			if sh != nil && sh.simEndPS == 0 {
-				sh.simEndPS = sh.clock.NowPS()
-			}
-		default:
-			panic(r)
-		}
-	}()
+	defer s.containCrash(c, rank)
 	sh := newShardShell(rank, s.deviceSize)
 	s.shards[rank] = sh
 	c.AttachClock(sh.clock)
 	if cr := s.cfg.Crash; cr != nil && cr.Shard == rank {
 		sh.dev.FailAfter(cr.At - 1) // primitive count is 0 here
 	}
+	if s.migratory() {
+		sh.ring = s.router.Ring().Clone()
+		sh.appliedBits = make([]uint64, (s.cfg.Ops+63)/64)
+	}
 	ctr, err := s.newBackend(sh.dev)
 	if err != nil {
-		errs[rank] = fmt.Errorf("server: shard %d backend: %w", rank, err)
+		s.errs[rank] = fmt.Errorf("server: shard %d backend: %w", rank, err)
 		c.Abort()
 		return
 	}
 	if err := sh.init(ctr, s.cfg.DS, s.cfg.Buckets, s.cfg.Trace); err != nil {
-		errs[rank] = err
+		s.errs[rank] = err
 		c.Abort()
 		return
 	}
 	if s.cfg.Replicas > 0 {
 		if err := s.initReplicas(sh); err != nil {
-			errs[rank] = err
+			s.errs[rank] = err
 			c.Abort()
 			return
 		}
 	}
 	if err := s.serve(c, sh); err != nil {
-		errs[rank] = err
+		s.errs[rank] = err
 		c.Abort()
 	}
 }
@@ -571,17 +655,44 @@ func (s *Service) serve(c *mpi.Comm, sh *shard) error {
 		sh.msched = measure.NewSchedule(sh.clock.NowPS(), *m)
 		sh.meas = measure.NewCollector(*m, sh.msched)
 	}
-	my := s.streams[sh.id]
+	return s.serveLoop(c, sh, 0)
+}
+
+// serveLoop is the batched request loop, shared by boot ranks (startBatch
+// 0) and split-spawned ranks (which enter at the batch after their join,
+// already in step with the world's collective sequence). Each rank
+// dispatches an op iff its live ring clone owns the key — rings flip
+// identically at identical boundaries, so exactly one rank applies each
+// op. Migration-free runs never consult the ring (streams are pre-routed)
+// and skip every migration hook.
+func (s *Service) serveLoop(c *mpi.Comm, sh *shard, startBatch int) error {
+	var my []seqOp
+	if s.migratory() {
+		my = s.ops
+	} else {
+		my = s.streams[sh.id]
+	}
 	idx := 0
+	if startBatch > 0 {
+		// seq i sits at s.ops[i]: jump to the first op of the entry batch.
+		idx = startBatch * s.cfg.BatchOps
+		if idx > len(my) {
+			idx = len(my)
+		}
+	}
 	incremental := s.cfg.StepBudget > 0
 	cutting, committed := false, false
-	for b := 0; b < s.batches; b++ {
+	for b := startBatch; b < s.batches; b++ {
 		if !sh.inEpoch {
 			sh.rec.Begin("epoch")
 			sh.inEpoch = true
 		}
 		hi := (b + 1) * s.cfg.BatchOps
 		for idx < len(my) && my[idx].seq < hi {
+			if sh.ring != nil && sh.ring.Owner(my[idx].op.Key) != sh.id {
+				idx++
+				continue
+			}
 			var err error
 			if sh.reps != nil {
 				err = s.applySLA(sh, my[idx].seq, my[idx].op)
@@ -590,6 +701,11 @@ func (s *Service) serve(c *mpi.Comm, sh *shard) error {
 			}
 			if err != nil {
 				return err
+			}
+			if sh.appliedBits != nil {
+				markApplied(sh.appliedBits, my[idx].seq)
+				sh.roundOps++
+				sh.maybeLogMig(my[idx].op)
 			}
 			idx++
 		}
@@ -610,10 +726,18 @@ func (s *Service) serve(c *mpi.Comm, sh *shard) error {
 		if cutting {
 			// An incremental cut is in flight: one bounded checkpoint
 			// quantum between request batches instead of a policy round.
+			wasCommitted := committed
 			var err error
 			cutting, committed, err = s.cutStep(c, sh, committed)
 			if err != nil {
 				return err
+			}
+			if !wasCommitted && committed {
+				// The cut just landed globally: a pending ring flip is now
+				// published; the source drops its moved keys.
+				if err := s.postFlip(sh); err != nil {
+					return err
+				}
 			}
 			continue
 		}
@@ -625,9 +749,38 @@ func (s *Service) serve(c *mpi.Comm, sh *shard) error {
 		since := time.Duration((now - sh.cutStartPS) / 1000)
 		round := time.Duration((now - sh.roundPS) / 1000)
 		sh.roundPS = now
-		if ops > 0 && s.cfg.Policy.Cut(CutStats{Ops: ops, DirtyBytes: dirty, Since: since, Round: round, Shards: s.cfg.Shards}) {
+		doCut := ops > 0 && s.cfg.Policy.Cut(CutStats{Ops: ops, DirtyBytes: dirty, Since: since, Round: round, Shards: s.cfg.Shards})
+		if doCut && s.migratory() && sh.migPhase != migFlipReady {
+			// Back-to-back cuts (a saturated incremental pipeline, or a
+			// policy that fires every round) would otherwise starve the
+			// migration: advance the state machine before cutting. If a
+			// migration starts here it may grow the world, and the spawned
+			// rank only joins the collective sequence at the next batch
+			// boundary — push the cut to the next round, where it fires
+			// again with the newcomer in step.
+			was := sh.migPhase
+			justCut := sh.cuts != sh.lastRoundCuts
+			sh.lastRoundCuts = sh.cuts
+			if err := s.migRound(c, sh, b, justCut, false); err != nil {
+				return err
+			}
+			if was == migIdle && sh.migPhase != migIdle {
+				continue
+			}
+		}
+		if doCut {
+			if sh.migPhase == migFlipReady {
+				// The ownership flip rides this cut: hand over the final
+				// residual and flip every ring clone before the commit.
+				if err := s.preFlip(c, sh); err != nil {
+					return err
+				}
+			}
 			if !incremental {
 				if err := s.cut(c, sh); err != nil {
+					return err
+				}
+				if err := s.postFlip(sh); err != nil {
 					return err
 				}
 				continue
@@ -636,14 +789,42 @@ func (s *Service) serve(c *mpi.Comm, sh *shard) error {
 				return err
 			}
 			cutting, committed = true, false
+			continue
+		}
+		if s.migratory() {
+			justCut := sh.cuts != sh.lastRoundCuts
+			sh.lastRoundCuts = sh.cuts
+			if err := s.migRound(c, sh, b, justCut, false); err != nil {
+				return err
+			}
+			done, err := s.retireRound(c, sh)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil // this rank merged away and left the world
+			}
 		}
 	}
 	// Drain an in-flight cut before closing out: the pipeline must be
 	// idle for end-of-run verification (and any final monolithic cut).
 	for cutting {
+		wasCommitted := committed
 		var err error
 		cutting, committed, err = s.cutStep(c, sh, committed)
 		if err != nil {
+			return err
+		}
+		if !wasCommitted && committed {
+			if err := s.postFlip(sh); err != nil {
+				return err
+			}
+		}
+	}
+	if s.migratory() {
+		// Force every remaining migration through to its flip so the ring
+		// is quiescent for verification.
+		if err := s.migEndDrain(c, sh, incremental); err != nil {
 			return err
 		}
 	}
@@ -861,7 +1042,21 @@ func (s *Service) recoverAll(res *Result) {
 	for _, sh := range s.shards {
 		sh.dev.CrashWith(s.crashPolicy(sh.id))
 	}
-	n := len(s.shards)
+	// Membership at the failure: a merged-away source that already retired
+	// cannot rejoin the coordinated protocol — its committed epoch froze at
+	// its departure, which would trip the at-most-one-behind rule. It
+	// recovers locally instead (verifyRetired); everyone else forms the
+	// recovery world, with ranks remapped over the survivors. Epochs are
+	// compared in the global cut numbering via each shard's join offset.
+	var members, retired []*shard
+	for _, sh := range s.shards {
+		if sh.retired {
+			retired = append(retired, sh)
+		} else {
+			members = append(members, sh)
+		}
+	}
+	n := len(members)
 	ctrs := make([]CutBackend, n)
 	rerrs := make([]error, n)
 	w := mpi.NewWorld(n)
@@ -874,7 +1069,7 @@ func (s *Service) recoverAll(res *Result) {
 			}
 		}()
 		rank := c.Rank()
-		sh := s.shards[rank]
+		sh := members[rank]
 		c.AttachClock(sh.clock)
 		ctr, err := s.reopenBackend(sh.dev)
 		if err != nil {
@@ -882,7 +1077,7 @@ func (s *Service) recoverAll(res *Result) {
 			c.Abort()
 			return
 		}
-		if err := mpi.Recover(c, ctr); err != nil {
+		if err := mpi.Recover(c, offsetRecoverable{ctr: ctr, off: sh.epochOff}); err != nil {
 			rerrs[rank] = fmt.Errorf("recover: %w", err)
 			c.Abort()
 			return
@@ -891,18 +1086,18 @@ func (s *Service) recoverAll(res *Result) {
 	})
 	for i, err := range rerrs {
 		if err != nil {
-			res.Violations = append(res.Violations, Violation{Shard: i, Stage: "recover", Detail: err.Error()})
+			res.Violations = append(res.Violations, Violation{Shard: members[i].id, Stage: "recover", Detail: err.Error()})
 		}
 	}
 	if len(res.Violations) > 0 {
 		return
 	}
-	epoch := ctrs[0].CommittedEpoch()
+	epoch := members[0].epochOff + ctrs[0].CommittedEpoch()
 	for i, ctr := range ctrs {
-		if e := ctr.CommittedEpoch(); e != epoch {
+		if e := members[i].epochOff + ctr.CommittedEpoch(); e != epoch {
 			res.Violations = append(res.Violations, Violation{
-				Shard: i, Stage: "epoch",
-				Detail: fmt.Sprintf("recovered to epoch %d, shard 0 to %d", e, epoch),
+				Shard: members[i].id, Stage: "epoch",
+				Detail: fmt.Sprintf("recovered to global epoch %d, shard %d to %d", e, members[0].id, epoch),
 			})
 		}
 	}
@@ -917,31 +1112,49 @@ func (s *Service) recoverAll(res *Result) {
 		return
 	}
 	vs := sched.Map(n, sched.Options{Workers: s.cfg.Parallel}, func(i int) []string {
-		sh := s.shards[i]
+		sh := members[i]
 		if err := sh.reattach(ctrs[i], s.cfg.DS); err != nil {
 			return []string{err.Error()}
 		}
-		want, ok := sh.snaps[epoch]
+		local := epoch - sh.epochOff
+		want, ok := sh.snaps[local]
 		if !ok {
-			return []string{fmt.Sprintf("no shadow snapshot for landing epoch %d", epoch)}
+			return []string{fmt.Sprintf("no shadow snapshot for landing epoch %d (local %d)", epoch, local)}
 		}
 		return sh.verify(want)
 	})
 	for i, bad := range vs {
 		for _, d := range bad {
-			res.Violations = append(res.Violations, Violation{Shard: i, Stage: "verify", Detail: d})
+			res.Violations = append(res.Violations, Violation{Shard: members[i].id, Stage: "verify", Detail: d})
+		}
+	}
+	for _, sh := range retired {
+		for _, d := range s.verifyRetired(sh, epoch) {
+			res.Violations = append(res.Violations, Violation{Shard: sh.id, Stage: "verify", Detail: d})
+		}
+	}
+	if s.migratory() {
+		// Re-point the router at the landing epoch's ring so liveness
+		// probes route the way the recovered service would.
+		rg, err := s.ringAt(epoch)
+		if err != nil {
+			res.Violations = append(res.Violations, Violation{Shard: -1, Stage: "ring", Detail: err.Error()})
+		} else {
+			s.router.SetRing(rg)
 		}
 	}
 	if len(res.Violations) == 0 && s.cfg.Liveness {
-		s.liveness(res)
+		s.liveness(res, members)
 	}
 }
 
 // liveness proves the recovered service still serves and commits: every
-// shard writes a probe key it owns, the world takes one coordinated cut,
-// and the probe is read back.
-func (s *Service) liveness(res *Result) {
-	n := len(s.shards)
+// member shard owning keyspace writes a probe key it owns (on the
+// landing-epoch ring), the world takes one coordinated cut, and the probe
+// is read back. A zero-weight member (a merged-away source that had not
+// yet retired) owns no routable key, so it only joins the cut.
+func (s *Service) liveness(res *Result, members []*shard) {
+	n := len(members)
 	lerrs := make([]error, n)
 	w := mpi.NewWorld(n)
 	w.Run(func(c *mpi.Comm) {
@@ -953,21 +1166,28 @@ func (s *Service) liveness(res *Result) {
 			}
 		}()
 		rank := c.Rank()
-		sh := s.shards[rank]
+		sh := members[rank]
 		c.AttachClock(sh.clock)
-		key := uint64(1) << 62
-		for s.router.Shard(key) != rank {
-			key++
-		}
+		probe := s.router.Ring().Weight(sh.id) > 0
+		var key uint64
 		const marker = 0x11FE11FE11FE11FE
-		if err := sh.kv.Put(key, marker); err != nil {
-			lerrs[rank] = fmt.Errorf("probe put: %w", err)
-			c.Abort()
-			return
+		if probe {
+			key = uint64(1) << 62
+			for s.router.Shard(key) != sh.id {
+				key++
+			}
+			if err := sh.kv.Put(key, marker); err != nil {
+				lerrs[rank] = fmt.Errorf("probe put: %w", err)
+				c.Abort()
+				return
+			}
 		}
 		if err := mpi.Checkpoint(c, sh.ctr); err != nil {
 			lerrs[rank] = fmt.Errorf("probe cut: %w", err)
 			c.Abort()
+			return
+		}
+		if !probe {
 			return
 		}
 		if v, ok := sh.kv.Get(key); !ok || v != marker {
@@ -977,7 +1197,7 @@ func (s *Service) liveness(res *Result) {
 	})
 	for i, err := range lerrs {
 		if err != nil {
-			res.Violations = append(res.Violations, Violation{Shard: i, Stage: "liveness", Detail: err.Error()})
+			res.Violations = append(res.Violations, Violation{Shard: members[i].id, Stage: "liveness", Detail: err.Error()})
 		}
 	}
 }
@@ -1002,7 +1222,7 @@ func (s *Service) fillStats(res *Result) {
 			CrashIndex:  sh.crashIndex,
 		}
 		if sh.ctr != nil {
-			st.Epoch = sh.ctr.CommittedEpoch()
+			st.Epoch = sh.epochOff + sh.ctr.CommittedEpoch()
 		}
 		if sh.cuts > 0 {
 			st.PauseMeanPS = sh.pauseTotalPS / int64(sh.cuts)

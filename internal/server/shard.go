@@ -13,6 +13,7 @@ import (
 	"libcrpm/internal/obs"
 	"libcrpm/internal/pds"
 	"libcrpm/internal/replica"
+	"libcrpm/internal/ring"
 	"libcrpm/internal/workload"
 )
 
@@ -107,6 +108,43 @@ type shard struct {
 	crashIndex int64
 	crashKind  nvm.OpKind
 
+	// Elastic resharding (Config.Migrations / Config.AutoSplit; everything
+	// below stays nil/zero otherwise, so the migration-free paths are
+	// byte-identical to a build without them). ring is this rank's private
+	// clone of the ownership table, flipped identically on every rank at
+	// identical cut boundaries; epochOff maps the shard's local committed
+	// epochs onto the global cut numbering (nonzero only for shards spawned
+	// by a split mid-run, whose bring-up checkpoint stands for the global
+	// epoch they joined at).
+	ring       *ring.Ring
+	epochOff   uint64
+	migPhase   migPhase
+	migIdx     int // next Config.Migrations entry to trigger
+	migSrc     int // source shard of the in-flight migration (-1 idle)
+	migDst     int // destination shard of the in-flight migration (-1 idle)
+	migSpan    ring.Span
+	migSpanSet map[int]bool
+	// migLogOn makes the source append every span mutation's result to
+	// migLog (the catch-up delta log); cleared at the pre-flip residual
+	// capture, after which span traffic routes to the destination.
+	migLogOn      bool
+	migLog        []migEnt
+	flipPending   bool // a ring flip rides the cut currently being taken
+	retireQ       []retirePlan
+	retired       bool
+	roundOps      uint64 // applied ops since the last autosplit evaluation
+	lastRoundCuts int
+	// appliedBits marks every global sequence number this shard applied;
+	// migration verification checks each op was applied exactly once
+	// service-wide (no loss, no double-apply across a handoff).
+	appliedBits []uint64
+	ringFlips   []RingFlip
+	migSpans    []MigSpan
+	migStats    []MigrationStat
+	// phaseStartPrim is the device primitive index the current migration
+	// phase started at, bounding the crash windows MigrationSpans reports.
+	phaseStartPrim int64
+
 	// Replication (Config.Replicas > 0; everything below stays nil/zero
 	// otherwise, so the replica-free paths are byte-identical to a build
 	// without them).
@@ -137,6 +175,8 @@ func newShardShell(id, deviceSize int) *shard {
 		snaps:  make(map[uint64]map[uint64]uint64),
 		lat:    measure.NewHistogram(latencyBounds),
 		pause:  measure.NewHistogram(obs.PauseBounds),
+		migSrc: -1,
+		migDst: -1,
 	}
 }
 

@@ -1,0 +1,77 @@
+package torture
+
+import (
+	"strings"
+	"testing"
+
+	"libcrpm/internal/server"
+)
+
+func migBase() server.Config {
+	return server.Config{
+		Shards:   2,
+		Clients:  2,
+		Ops:      6000,
+		Keys:     2000,
+		BatchOps: 256,
+		Policy:   server.OpsPolicy{Every: 1024},
+		Seed:     7,
+		Migrations: []server.MigrateSpec{
+			{Kind: server.MigrateSplit, Src: 0, AfterCuts: 2},
+		},
+	}
+}
+
+// TestMigrateSweepSplit crash-injects across every phase window of a live
+// split — mid-transfer, mid-catch-up, and around the ring flip, on both
+// the source and the spawned destination — under all standard crash-image
+// policies. Zero violations tolerated.
+func TestMigrateSweepSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("migration crash sweep is long")
+	}
+	res, err := MigrateSweep(MigrateConfig{
+		Server:   migBase(),
+		Stride:   97, // prime stride: sparse but phase-covering points
+		Policies: StandardPolicies(migBase().Seed)[:2],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replays == 0 {
+		t.Fatal("sweep ran no replays")
+	}
+	for _, phase := range []string{"transfer", "catchup", "flip"} {
+		found := false
+		for key := range res.Points {
+			if strings.Contains(key, "/"+phase+"/") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no crash points in %s phase (points: %v)", phase, res.Points)
+		}
+	}
+	if len(res.Violations) != 0 {
+		max := len(res.Violations)
+		if max > 5 {
+			max = 5
+		}
+		t.Fatalf("%d violations, first %d: %+v", len(res.Violations), max, res.Violations[:max])
+	}
+}
+
+// TestMigrateSweepRejects pins the input validation.
+func TestMigrateSweepRejects(t *testing.T) {
+	cfg := migBase()
+	cfg.Migrations = nil
+	if _, err := MigrateSweep(MigrateConfig{Server: cfg}); err == nil {
+		t.Fatal("non-migratory config accepted")
+	}
+	cfg = migBase()
+	cfg.Crash = &server.CrashSpec{Shard: 0, At: 1}
+	if _, err := MigrateSweep(MigrateConfig{Server: cfg}); err == nil {
+		t.Fatal("pre-set Crash accepted")
+	}
+}
